@@ -1,0 +1,191 @@
+// Package broadband is the public API of the reproduction of "Need, Want,
+// Can Afford – Broadband Markets and the Behavior of Users" (Bischof,
+// Bustamante, Stanojevic — IMC 2014).
+//
+// The library has three layers, all re-exported here:
+//
+//   - World generation (BuildWorld): a parameterized synthetic world of
+//     ~90 national broadband markets, subscriber plan choice ("need, want,
+//     can afford"), access-network simulation and behavioral traffic
+//     generation, producing the paper's three datasets — the end-host
+//     panel, the US gateway panel, and the retail-plan survey.
+//   - Causal inference (Experiment, Matcher, RunPaired): natural
+//     experiments over observational data with nearest-neighbor caliper
+//     matching, one-tailed binomial tests and the paper's practical-
+//     significance rule.
+//   - Reproduction (Experiments, RunAll): one module per table and figure
+//     of the paper's evaluation, each returning a typed result with a
+//     textual rendering of the same rows/series.
+//
+// Quickstart:
+//
+//	world, err := broadband.BuildWorld(broadband.WorldConfig{Seed: 1, Users: 1500})
+//	if err != nil { ... }
+//	rep, err := broadband.Run("Table 1", &world.Data, 42)
+//	if err != nil { ... }
+//	fmt.Print(rep.Render())
+package broadband
+
+import (
+	"fmt"
+
+	"github.com/nwca/broadband/internal/core"
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/experiments"
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/synth"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// World generation.
+type (
+	// WorldConfig parameterizes synthetic-world generation.
+	WorldConfig = synth.Config
+	// World is a generated world: datasets, plan catalogs and ground truth.
+	World = synth.World
+	// Dataset bundles the users, switches, plans and market summaries.
+	Dataset = dataset.Dataset
+	// User is one subscriber observation.
+	User = dataset.User
+	// Switch is one before/after service-change observation.
+	Switch = dataset.Switch
+	// UsageSummary is the mean/peak demand pair, with and without BitTorrent.
+	UsageSummary = dataset.UsageSummary
+	// Vantage distinguishes the end-host and gateway platforms.
+	Vantage = dataset.Vantage
+)
+
+// Measurement vantages.
+const (
+	VantageDasu    = dataset.VantageDasu
+	VantageGateway = dataset.VantageGateway
+)
+
+// MeasureMode selects how lines are measured during world generation.
+type MeasureMode = synth.MeasureMode
+
+// Measurement modes: the calibrated fast model, or the packet-level TCP
+// simulation for every line.
+const (
+	MeasureFast = synth.MeasureFast
+	MeasureNDT  = synth.MeasureNDT
+)
+
+// Market model.
+type (
+	// MarketProfile parameterizes one national broadband market.
+	MarketProfile = market.Profile
+	// Country identifies a national market and its economy.
+	Country = market.Country
+	// Plan is one retail broadband offer.
+	Plan = market.Plan
+	// Catalog is a country's retail plan set.
+	Catalog = market.Catalog
+	// MarketSummary carries a market's access price and upgrade cost.
+	MarketSummary = market.MarketSummary
+	// Subscriber is the need/want/can-afford household of the choice model.
+	Subscriber = market.Subscriber
+)
+
+// Causal-inference engine.
+type (
+	// Experiment is a declarative natural experiment.
+	Experiment = core.Experiment
+	// Matcher performs nearest-neighbor caliper matching.
+	Matcher = core.Matcher
+	// Confounder is one matching covariate.
+	Confounder = core.Confounder
+	// ExperimentResult reports a natural experiment.
+	ExperimentResult = core.Result
+	// MatchedPair is one treated/control pair.
+	MatchedPair = core.Pair
+	// QED is the stratified quasi-experimental design (the alternative to
+	// nearest-neighbor matching).
+	QED = core.QED
+	// QEDResult reports a quasi-experiment with stratification diagnostics.
+	QEDResult = core.QEDResult
+)
+
+// Reproduction harness.
+type (
+	// Report is a reproduced table or figure.
+	Report = experiments.Report
+	// ReportEntry pairs a report identity with its runner.
+	ReportEntry = experiments.Entry
+)
+
+// Units.
+type (
+	// Bitrate is a data rate in bits per second.
+	Bitrate = unit.Bitrate
+	// USD is purchasing-power-normalized money.
+	USD = unit.USD
+	// LossRate is a packet-loss fraction.
+	LossRate = unit.LossRate
+)
+
+// Mbps constructs a Bitrate from megabits per second.
+func Mbps(v float64) Bitrate { return unit.MbpsOf(v) }
+
+// BuildWorld generates a synthetic world (all three datasets) from the
+// configuration. Generation is deterministic in cfg.Seed.
+func BuildWorld(cfg WorldConfig) (*World, error) { return synth.Build(cfg) }
+
+// LoadDataset reads a dataset previously written with Dataset.SaveDir
+// (users.csv, switches.csv, plans.csv), rebuilding market summaries from
+// the plan survey.
+func LoadDataset(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
+
+// DefaultMarkets returns the built-in market profiles (a fresh copy; safe
+// to mutate for ablation studies).
+func DefaultMarkets() []MarketProfile { return market.World() }
+
+// Experiments lists every reproduced table and figure in the paper's order.
+func Experiments() []ReportEntry { return experiments.Registry() }
+
+// ExtensionExperiments lists the analyses beyond the paper's artifacts
+// (its Sec. 10 future-work directions: usage caps, user categories).
+func ExtensionExperiments() []ReportEntry { return experiments.Extensions() }
+
+// Run executes the reproduction of one paper artifact ("Table 1" … "Fig. 12")
+// against a dataset. seed controls the matching order randomization.
+func Run(id string, d *Dataset, seed uint64) (Report, error) {
+	e, ok := experiments.Find(id)
+	if !ok {
+		e, ok = experiments.FindExtension(id)
+	}
+	if !ok {
+		return nil, fmt.Errorf("broadband: unknown experiment %q", id)
+	}
+	return e.Run(d, randx.New(seed).Split(id))
+}
+
+// RunAll executes every reproduction in order, returning the reports. The
+// first error aborts.
+func RunAll(d *Dataset, seed uint64) ([]Report, error) {
+	var out []Report
+	for _, e := range experiments.Registry() {
+		rep, err := e.Run(d, randx.New(seed).Split(e.ID))
+		if err != nil {
+			return out, fmt.Errorf("broadband: %s: %w", e.ID, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// RunPaired evaluates the within-subject upgrade experiment (Table 1's
+// design) over a switch panel with the given usage metric extractor.
+func RunPaired(name string, switches []Switch, metric func(UsageSummary) float64) (ExperimentResult, error) {
+	return core.RunPaired(name, switches, metric)
+}
+
+// Standard matching confounders.
+var (
+	ByRTT         = core.ConfounderRTT
+	ByLoss        = core.ConfounderLoss
+	ByAccessPrice = core.ConfounderAccessPrice
+	ByUpgradeCost = core.ConfounderUpgradeCost
+	ByCapacity    = core.ConfounderCapacity
+)

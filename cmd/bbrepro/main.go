@@ -1,0 +1,97 @@
+// Command bbrepro regenerates every table and figure of the paper against a
+// freshly generated synthetic world and prints the reproductions.
+//
+// Usage:
+//
+//	bbrepro                       # run everything at default world size
+//	bbrepro -only "Table 2"       # one artifact
+//	bbrepro -users 8000 -seed 7   # bigger world, different seed
+//	bbrepro -list                 # enumerate artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	broadband "github.com/nwca/broadband"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 20140705, "world seed")
+		users    = flag.Int("users", 5000, "end-host users in the primary year")
+		fcc      = flag.Int("fcc", 1200, "US gateway-panel users")
+		days     = flag.Int("days", 2, "observation days per user")
+		switches = flag.Int("switches", 900, "service-upgrade records")
+		minPer   = flag.Int("min-per-country", 30, "minimum primary-year users per country")
+		only     = flag.String("only", "", "run a single artifact, e.g. \"Table 2\" or \"Fig. 6\"")
+		list     = flag.Bool("list", false, "list artifacts and exit")
+		dataDir  = flag.String("data", "", "analyze a dataset directory written by bbgen instead of generating a world")
+		ext      = flag.Bool("ext", false, "also run the extension analyses (beyond the paper's artifacts)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range broadband.Experiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		for _, e := range broadband.ExtensionExperiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	start := time.Now()
+	var data *broadband.Dataset
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "bbrepro: loading dataset from %s...\n", *dataDir)
+		loaded, err := broadband.LoadDataset(*dataDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+		data = loaded
+	} else {
+		fmt.Fprintf(os.Stderr, "bbrepro: generating world (seed=%d, users=%d)...\n", *seed, *users)
+		world, err := broadband.BuildWorld(broadband.WorldConfig{
+			Seed:          *seed,
+			Users:         *users,
+			FCCUsers:      *fcc,
+			Days:          *days,
+			SwitchTarget:  *switches,
+			MinPerCountry: *minPer,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+		data = &world.Data
+	}
+	fmt.Fprintf(os.Stderr, "bbrepro: dataset ready in %v (%d users, %d switches, %d plans)\n\n",
+		time.Since(start).Round(time.Millisecond),
+		len(data.Users), len(data.Switches), len(data.Plans))
+
+	if *only != "" {
+		rep, err := broadband.Run(*only, data, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		return
+	}
+	entries := broadband.Experiments()
+	if *ext {
+		entries = append(entries, broadband.ExtensionExperiments()...)
+	}
+	for _, e := range entries {
+		rep, err := broadband.Run(e.ID, data, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %s: %v\n", e.ID, err)
+			continue
+		}
+		fmt.Println(rep.Render())
+	}
+}

@@ -1,0 +1,91 @@
+// Command ndtsim runs one NDT-style measurement (RTT probe train, bulk TCP
+// download and upload) over a configurable simulated access line and prints
+// the result — a direct demo of the packet-level substrate.
+//
+// Usage:
+//
+//	ndtsim -down 10Mbps -up 1Mbps -rtt 40ms -loss 0.5 -duration 10
+//	ndtsim -down 8Mbps -up 768kbps -rtt 600ms -loss 2 -burst   # satellite-ish
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/nwca/broadband/internal/netsim"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+func main() {
+	var (
+		down     = flag.String("down", "10Mbps", "downstream capacity")
+		up       = flag.String("up", "1Mbps", "upstream capacity")
+		rtt      = flag.Duration("rtt", 40*time.Millisecond, "base round-trip time")
+		lossPct  = flag.Float64("loss", 0.1, "stationary packet-loss percentage")
+		burst    = flag.Bool("burst", false, "use a bursty (Gilbert–Elliott) loss channel")
+		duration = flag.Float64("duration", 10, "seconds per throughput test (virtual time)")
+		seed     = flag.Uint64("seed", 1, "random seed for the loss processes")
+		loaded   = flag.Bool("loaded", false, "also measure latency under load (bufferbloat)")
+	)
+	flag.Parse()
+
+	downRate, err := unit.ParseBitrate(*down)
+	if err != nil {
+		fatal(err)
+	}
+	upRate, err := unit.ParseBitrate(*up)
+	if err != nil {
+		fatal(err)
+	}
+	loss := unit.LossFromPercent(*lossPct)
+	model := netsim.LossModel{Rate: loss}
+	if *burst {
+		// Two-thirds of the loss budget in 30%-lossy bursts.
+		model = netsim.LossModel{
+			Rate:       loss / 3,
+			Burst:      true,
+			PBadToGood: 0.2,
+			PGoodToBad: 0.2 * (2 * float64(loss) / 3 / 0.3) / (1 - 2*float64(loss)/3/0.3),
+			BadLoss:    0.3,
+		}
+	}
+	oneWay := rtt.Seconds() / 2
+	line := netsim.AccessLine{
+		Down: netsim.LinkConfig{Rate: downRate, Delay: oneWay, Loss: model, Name: "down"},
+		Up:   netsim.LinkConfig{Rate: upRate, Delay: oneWay, Loss: model, Name: "up"},
+	}
+
+	fmt.Printf("line: %v down / %v up, base RTT %v, loss %v (burst=%v)\n",
+		downRate, upRate, *rtt, loss, *burst)
+	res, err := netsim.RunNDT(line, netsim.NDTConfig{Duration: *duration}, randx.New(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("download:     %v\n", res.DownloadRate)
+	fmt.Printf("upload:       %v\n", res.UploadRate)
+	fmt.Printf("rtt:          %.1f ms\n", res.RTT*1000)
+	fmt.Printf("channel loss: %v\n", res.ChannelLoss)
+	fmt.Printf("total loss:   %v (includes self-induced queue drops)\n", res.TotalLoss)
+	st := res.DownStats
+	fmt.Printf("down link:    %d sent, %d delivered, %d queue drops, %d channel drops\n",
+		st.Sent, st.Delivered, st.DroppedQueue, st.DroppedLoss)
+	mathis := netsim.MathisThroughput(1460*unit.Byte, res.RTT, res.ChannelLoss)
+	fmt.Printf("mathis bound: %v\n", mathis)
+
+	if *loaded {
+		lr, err := netsim.MeasureLoadedRTT(line, *duration, randx.New(*seed).Split("loaded"))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded rtt:   %.1f ms (×%.1f over idle %.1f ms, %d probes)\n",
+			lr.LoadedRTT*1000, lr.Inflation, lr.IdleRTT*1000, lr.Probes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ndtsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Quickstart: generate a small synthetic broadband world and reproduce the
+// paper's headline natural experiment (Table 1 — does a faster service make
+// the same user consume more?).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	broadband "github.com/nwca/broadband"
+)
+
+func main() {
+	// A world is deterministic in its seed: three datasets (end-host
+	// panel, US gateway panel, retail-plan survey) in one call.
+	world, err := broadband.BuildWorld(broadband.WorldConfig{
+		Seed:         42,
+		Users:        1200,
+		FCCUsers:     250,
+		Days:         2,
+		SwitchTarget: 200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world: %d users, %d service switches, %d retail plans, %d markets\n\n",
+		len(world.Data.Users), len(world.Data.Switches), len(world.Data.Plans), len(world.Data.Markets))
+
+	// Reproduce Table 1: the within-user upgrade experiment.
+	rep, err := broadband.Run("Table 1", &world.Data, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+
+	// And Fig. 7: the case-study capacity/utilization orderings.
+	rep, err = broadband.Run("Fig. 7", &world.Data, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
+}

@@ -1,0 +1,77 @@
+// Upgrade study: the within-subject design of Sec. 3.2 over the service-
+// switch panel — every usage metric, plus the per-initial-tier breakdown
+// of Fig. 5 computed by hand from the public Switch records.
+//
+//	go run ./examples/upgrade-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	broadband "github.com/nwca/broadband"
+)
+
+func main() {
+	world, err := broadband.BuildWorld(broadband.WorldConfig{
+		Seed: 3, Users: 1800, FCCUsers: 100, Days: 2, SwitchTarget: 450,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switches := world.Data.Switches
+	fmt.Printf("switch panel: %d users observed on a slower and a faster service\n\n", len(switches))
+
+	// Table 1's design over all four metrics.
+	metrics := []struct {
+		name string
+		get  func(broadband.UsageSummary) float64
+	}{
+		{"mean w/ BT", func(s broadband.UsageSummary) float64 { return float64(s.Mean) }},
+		{"peak w/ BT", func(s broadband.UsageSummary) float64 { return float64(s.Peak) }},
+		{"mean no BT", func(s broadband.UsageSummary) float64 { return float64(s.MeanNoBT) }},
+		{"peak no BT", func(s broadband.UsageSummary) float64 { return float64(s.PeakNoBT) }},
+	}
+	for _, m := range metrics {
+		res, err := broadband.RunPaired(m.name, switches, m.get)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+
+	// Fig. 5 by hand: average change in peak (no BT) demand by initial tier.
+	fmt.Println("\naverage peak (no BT) change by initial tier:")
+	tiers := []struct {
+		name   string
+		lo, hi broadband.Bitrate
+	}{
+		{"0.25-1 Mbps", broadband.Mbps(0.25), broadband.Mbps(1)},
+		{"1-4 Mbps", broadband.Mbps(1), broadband.Mbps(4)},
+		{"4-16 Mbps", broadband.Mbps(4), broadband.Mbps(16)},
+		{"16-64 Mbps", broadband.Mbps(16), broadband.Mbps(64)},
+	}
+	for _, tier := range tiers {
+		var sum float64
+		var n int
+		for _, s := range switches {
+			if s.FromDown > tier.lo && s.FromDown <= tier.hi {
+				sum += float64(s.After.PeakNoBT - s.Before.PeakNoBT)
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %+8.3f Mbps  (n=%d)\n", tier.name, sum/float64(n)/1e6, n)
+	}
+
+	// How big is the median jump?
+	doubled := 0
+	for _, s := range switches {
+		if s.ToDown >= 2*s.FromDown {
+			doubled++
+		}
+	}
+	fmt.Printf("\n%d%% of switches at least doubled the measured capacity\n", 100*doubled/len(switches))
+}

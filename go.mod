@@ -1,0 +1,3 @@
+module github.com/nwca/broadband
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package core implements the paper's methodological contribution: natural
+// experiments over observational broadband data. Treatment and control
+// populations are compared after nearest-neighbor matching on confounders
+// with a ratio caliper (Sec. 2.3 and 3.2), and hypotheses are evaluated
+// with one-tailed binomial tests plus the practical-importance rule that
+// guards against large-sample false positives.
+//
+// The same machinery also runs the within-subject (before/after upgrade)
+// design and arbitrary placebo experiments, which the test suite uses to
+// check that the engine does not manufacture effects.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// DefaultCaliper is the paper's matching tolerance: confounder values of a
+// matched pair must be within 25% of each other.
+const DefaultCaliper = 0.25
+
+// Confounder is one covariate users must agree on (within the caliper) to
+// be considered comparable.
+type Confounder struct {
+	// Name labels the confounder in diagnostics.
+	Name string
+	// Value extracts the covariate.
+	Value dataset.Metric
+	// Floor is an absolute slack added to the caliper band, for covariates
+	// that legitimately approach zero (e.g. loss rates): |a−b| must not
+	// exceed caliper·max(a,b) + Floor.
+	Floor float64
+}
+
+// Standard confounder constructors for the covariates the paper matches on.
+func ConfounderRTT() Confounder {
+	return Confounder{Name: "latency", Value: func(u *dataset.User) float64 { return u.RTT }, Floor: 0.002}
+}
+
+// ConfounderLoss matches on packet-loss rate.
+func ConfounderLoss() Confounder {
+	return Confounder{Name: "loss", Value: func(u *dataset.User) float64 { return float64(u.Loss) }, Floor: 0.0005}
+}
+
+// ConfounderAccessPrice matches on the market's price of broadband access.
+func ConfounderAccessPrice() Confounder {
+	return Confounder{Name: "access-price", Value: func(u *dataset.User) float64 { return u.AccessPrice.Dollars() }}
+}
+
+// ConfounderUpgradeCost matches on the market's cost of increasing capacity.
+func ConfounderUpgradeCost() Confounder {
+	return Confounder{Name: "upgrade-cost", Value: func(u *dataset.User) float64 { return float64(u.UpgradeCost) }, Floor: 0.02}
+}
+
+// ConfounderCapacity matches on measured link capacity.
+func ConfounderCapacity() Confounder {
+	return Confounder{Name: "capacity", Value: func(u *dataset.User) float64 { return float64(u.Capacity) }}
+}
+
+// Pair is one matched treated/control pair.
+type Pair struct {
+	Treated *dataset.User
+	Control *dataset.User
+}
+
+// Matcher performs greedy one-to-one nearest-neighbor matching without
+// replacement under a ratio caliper.
+type Matcher struct {
+	Confounders []Confounder
+	// Caliper is the relative tolerance per confounder (default 0.25).
+	Caliper float64
+}
+
+// withinCaliper reports whether two covariate values are comparable.
+func withinCaliper(a, b, caliper, floor float64) bool {
+	hi := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= caliper*hi+floor
+}
+
+// distance is the matching distance: the sum of normalized confounder
+// discrepancies (each in [0,1] at the caliper boundary).
+func (m Matcher) distance(a, b *dataset.User, caliper float64) (float64, bool) {
+	total := 0.0
+	for _, c := range m.Confounders {
+		va, vb := c.Value(a), c.Value(b)
+		if !withinCaliper(va, vb, caliper, c.Floor) {
+			return 0, false
+		}
+		hi := math.Max(math.Abs(va), math.Abs(vb))
+		denom := caliper*hi + c.Floor
+		if denom > 0 {
+			total += math.Abs(va-vb) / denom
+		}
+	}
+	return total, true
+}
+
+// Match pairs each treated user with its nearest eligible control, greedily
+// and without replacement. Treated users with no eligible control are
+// dropped (the caliper's purpose). The iteration order is randomized by rng
+// so greedy choices carry no dataset-order bias; pass nil for deterministic
+// input order.
+func (m Matcher) Match(treated, control []*dataset.User, rng *randx.Source) []Pair {
+	caliper := m.Caliper
+	if caliper <= 0 {
+		caliper = DefaultCaliper
+	}
+	order := make([]int, len(treated))
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	used := make([]bool, len(control))
+	var pairs []Pair
+	for _, ti := range order {
+		t := treated[ti]
+		best := -1
+		bestDist := math.Inf(1)
+		for ci, c := range control {
+			if used[ci] {
+				continue
+			}
+			d, ok := m.distance(t, c, caliper)
+			if !ok {
+				continue
+			}
+			if d < bestDist {
+				bestDist = d
+				best = ci
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			pairs = append(pairs, Pair{Treated: t, Control: control[best]})
+		}
+	}
+	// Stable output order (by treated user ID) regardless of shuffle.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Treated.ID < pairs[j].Treated.ID })
+	return pairs
+}
+
+// Balance summarizes covariate balance of a matched set: for each
+// confounder, the mean treated and control values. A matched design is
+// credible when these agree closely; experiments print it as a diagnostic.
+type Balance struct {
+	Confounder  string
+	MeanTreated float64
+	MeanControl float64
+}
+
+// CheckBalance computes the balance table for a matched set.
+func (m Matcher) CheckBalance(pairs []Pair) []Balance {
+	out := make([]Balance, 0, len(m.Confounders))
+	for _, c := range m.Confounders {
+		var t, ctl float64
+		for _, p := range pairs {
+			t += c.Value(p.Treated)
+			ctl += c.Value(p.Control)
+		}
+		n := float64(len(pairs))
+		if n > 0 {
+			t /= n
+			ctl /= n
+		}
+		out = append(out, Balance{Confounder: c.Name, MeanTreated: t, MeanControl: ctl})
+	}
+	return out
+}
+
+// String renders a balance row.
+func (b Balance) String() string {
+	return fmt.Sprintf("%s: treated %.4g vs control %.4g", b.Confounder, b.MeanTreated, b.MeanControl)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Quasi-experimental design (QED): the alternative the paper weighs against
+// natural experiments (Krishnan & Sitaraman's stream-quality study). Where
+// nearest-neighbor matching finds, for each treated unit, its closest
+// control under a caliper, QED stratifies both populations into discrete
+// confounder cells and pairs treated/control units within identical cells.
+// Results should broadly agree; QED trades some pair yield (cells must
+// match exactly) for exact in-cell comparability and O(n) matching.
+
+// QEDResult extends the standard experiment result with stratification
+// diagnostics.
+type QEDResult struct {
+	Result
+	// Cells is the number of populated strata; PairedCells how many
+	// produced at least one pair.
+	Cells       int
+	PairedCells int
+}
+
+// String renders the result with its stratification summary.
+func (r QEDResult) String() string {
+	return fmt.Sprintf("%s [%d/%d cells]", r.Result.String(), r.PairedCells, r.Cells)
+}
+
+// QED is a stratified quasi-experiment specification.
+type QED struct {
+	Name      string
+	Treatment []*dataset.User
+	Control   []*dataset.User
+	// Confounders are discretized into multiplicative bins of width
+	// BinRatio (default 1.5; a pair in the same bin differs by at most
+	// that factor — comparable to the 25% caliper at ratio 1.25²).
+	Confounders []Confounder
+	BinRatio    float64
+	Outcome     dataset.Metric
+	MinPairs    int
+}
+
+// cellKey discretizes one user's confounder vector.
+func (q QED) cellKey(u *dataset.User, binRatio float64) string {
+	var b strings.Builder
+	for i, c := range q.Confounders {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		v := c.Value(u)
+		switch {
+		case v <= c.Floor:
+			b.WriteString("lo") // everything under the floor is one bin
+		default:
+			idx := int(math.Floor(math.Log(v) / math.Log(binRatio)))
+			fmt.Fprintf(&b, "%d", idx)
+		}
+	}
+	return b.String()
+}
+
+// Run stratifies, pairs within cells, and evaluates the hypothesis that
+// treated units show higher outcomes.
+func (q QED) Run(rng *randx.Source) (QEDResult, error) {
+	if q.Outcome == nil {
+		return QEDResult{}, fmt.Errorf("core: QED %q has no outcome metric", q.Name)
+	}
+	binRatio := q.BinRatio
+	if binRatio <= 1 {
+		binRatio = 1.5
+	}
+	minPairs := q.MinPairs
+	if minPairs <= 0 {
+		minPairs = 10
+	}
+
+	type cell struct {
+		treated []*dataset.User
+		control []*dataset.User
+	}
+	cells := map[string]*cell{}
+	for _, u := range q.Treatment {
+		k := q.cellKey(u, binRatio)
+		if cells[k] == nil {
+			cells[k] = &cell{}
+		}
+		cells[k].treated = append(cells[k].treated, u)
+	}
+	for _, u := range q.Control {
+		k := q.cellKey(u, binRatio)
+		if cells[k] == nil {
+			cells[k] = &cell{}
+		}
+		cells[k].control = append(cells[k].control, u)
+	}
+
+	// Deterministic cell order, then random pairing within each cell.
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	holds, pairs, pairedCells := 0, 0, 0
+	for _, k := range keys {
+		c := cells[k]
+		n := len(c.treated)
+		if len(c.control) < n {
+			n = len(c.control)
+		}
+		if n == 0 {
+			continue
+		}
+		pairedCells++
+		tOrder := permute(len(c.treated), rng)
+		cOrder := permute(len(c.control), rng)
+		for i := 0; i < n; i++ {
+			pairs++
+			if q.Outcome(c.treated[tOrder[i]]) > q.Outcome(c.control[cOrder[i]]) {
+				holds++
+			}
+		}
+	}
+	if pairs < minPairs {
+		return QEDResult{}, fmt.Errorf("%w: QED %q paired %d, need %d", ErrTooFewPairs, q.Name, pairs, minPairs)
+	}
+	bin, err := stats.BinomialTest(holds, pairs, 0.5, stats.TailGreater)
+	if err != nil {
+		return QEDResult{}, err
+	}
+	return QEDResult{
+		Result: Result{
+			Name:     q.Name,
+			Pairs:    pairs,
+			Holds:    holds,
+			Binomial: bin,
+			Sig:      bin.Assess(),
+		},
+		Cells:       len(cells),
+		PairedCells: pairedCells,
+	}, nil
+}
+
+func permute(n int, rng *randx.Source) []int {
+	if rng != nil {
+		return rng.Perm(n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

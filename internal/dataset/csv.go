@@ -1,0 +1,342 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/traffic"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// CSV serialization. Rates are stored in Mbps, latencies in milliseconds,
+// loss in percent and money in USD PPP — the units a human inspecting the
+// files (or loading them into an external analysis tool) expects.
+
+var userHeader = []string{
+	"id", "country", "vantage", "year", "isp", "network",
+	"plan_down_mbps", "plan_up_mbps", "plan_price_usd", "plan_tech", "plan_cap_gb",
+	"capacity_mbps", "up_capacity_mbps", "rtt_ms", "web_rtt_ms", "loss_pct",
+	"mean_mbps", "peak_mbps", "mean_nobt_mbps", "peak_nobt_mbps", "uses_bt", "archetype",
+	"access_price_usd", "upgrade_cost_per_mbps",
+}
+
+// WriteUsers streams users as CSV.
+func WriteUsers(w io.Writer, users []User) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(userHeader); err != nil {
+		return err
+	}
+	for i := range users {
+		u := &users[i]
+		rec := []string{
+			strconv.FormatInt(u.ID, 10),
+			u.Country,
+			strconv.Itoa(int(u.Vantage)),
+			strconv.Itoa(u.Year),
+			u.ISP,
+			u.NetworkKey,
+			f(u.PlanDown.Mbps()), f(u.PlanUp.Mbps()), f(u.PlanPrice.Dollars()),
+			strconv.Itoa(int(u.PlanTech)), f(u.PlanCap.GB()),
+			f(u.Capacity.Mbps()), f(u.UpCapacity.Mbps()),
+			f(u.RTT * 1000), f(u.WebRTT * 1000), f(u.Loss.Percent()),
+			f(u.Usage.Mean.Mbps()), f(u.Usage.Peak.Mbps()),
+			f(u.Usage.MeanNoBT.Mbps()), f(u.Usage.PeakNoBT.Mbps()),
+			strconv.FormatBool(u.UsesBT), strconv.Itoa(int(u.Archetype)),
+			f(u.AccessPrice.Dollars()), f(float64(u.UpgradeCost)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadUsers parses a users CSV produced by WriteUsers.
+func ReadUsers(r io.Reader) ([]User, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty users file")
+	}
+	if err := checkHeader(rows[0], userHeader); err != nil {
+		return nil, err
+	}
+	users := make([]User, 0, len(rows)-1)
+	for n, rec := range rows[1:] {
+		if len(rec) != len(userHeader) {
+			return nil, fmt.Errorf("dataset: users row %d has %d fields, want %d", n+2, len(rec), len(userHeader))
+		}
+		p := &parser{rec: rec}
+		u := User{
+			ID:          p.i64(0),
+			Country:     rec[1],
+			Vantage:     Vantage(p.int(2)),
+			Year:        p.int(3),
+			ISP:         rec[4],
+			NetworkKey:  rec[5],
+			PlanDown:    unit.MbpsOf(p.f64(6)),
+			PlanUp:      unit.MbpsOf(p.f64(7)),
+			PlanPrice:   unit.USD(p.f64(8)),
+			PlanTech:    market.Technology(p.int(9)),
+			PlanCap:     unit.ByteSize(p.f64(10) * float64(unit.GB)),
+			Capacity:    unit.MbpsOf(p.f64(11)),
+			UpCapacity:  unit.MbpsOf(p.f64(12)),
+			RTT:         p.f64(13) / 1000,
+			WebRTT:      p.f64(14) / 1000,
+			Loss:        unit.LossFromPercent(p.f64(15)),
+			UsesBT:      p.boolAt(20),
+			Archetype:   traffic.Archetype(p.int(21)),
+			AccessPrice: unit.USD(p.f64(22)),
+			UpgradeCost: unit.PerMbps(p.f64(23)),
+		}
+		u.Usage = UsageSummary{
+			Mean:     unit.MbpsOf(p.f64(16)),
+			Peak:     unit.MbpsOf(p.f64(17)),
+			MeanNoBT: unit.MbpsOf(p.f64(18)),
+			PeakNoBT: unit.MbpsOf(p.f64(19)),
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("dataset: users row %d: %w", n+2, p.err)
+		}
+		users = append(users, u)
+	}
+	return users, nil
+}
+
+var switchHeader = []string{
+	"user_id", "country", "from_net", "to_net", "from_down_mbps", "to_down_mbps",
+	"before_mean_mbps", "before_peak_mbps", "before_mean_nobt_mbps", "before_peak_nobt_mbps",
+	"after_mean_mbps", "after_peak_mbps", "after_mean_nobt_mbps", "after_peak_nobt_mbps",
+}
+
+// WriteSwitches streams service-change records as CSV.
+func WriteSwitches(w io.Writer, switches []Switch) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(switchHeader); err != nil {
+		return err
+	}
+	for _, s := range switches {
+		rec := []string{
+			strconv.FormatInt(s.UserID, 10), s.Country, s.FromNet, s.ToNet,
+			f(s.FromDown.Mbps()), f(s.ToDown.Mbps()),
+			f(s.Before.Mean.Mbps()), f(s.Before.Peak.Mbps()),
+			f(s.Before.MeanNoBT.Mbps()), f(s.Before.PeakNoBT.Mbps()),
+			f(s.After.Mean.Mbps()), f(s.After.Peak.Mbps()),
+			f(s.After.MeanNoBT.Mbps()), f(s.After.PeakNoBT.Mbps()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSwitches parses a switches CSV produced by WriteSwitches.
+func ReadSwitches(r io.Reader) ([]Switch, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty switches file")
+	}
+	if err := checkHeader(rows[0], switchHeader); err != nil {
+		return nil, err
+	}
+	out := make([]Switch, 0, len(rows)-1)
+	for n, rec := range rows[1:] {
+		if len(rec) != len(switchHeader) {
+			return nil, fmt.Errorf("dataset: switches row %d has %d fields, want %d", n+2, len(rec), len(switchHeader))
+		}
+		p := &parser{rec: rec}
+		s := Switch{
+			UserID:   p.i64(0),
+			Country:  rec[1],
+			FromNet:  rec[2],
+			ToNet:    rec[3],
+			FromDown: unit.MbpsOf(p.f64(4)),
+			ToDown:   unit.MbpsOf(p.f64(5)),
+			Before: UsageSummary{
+				Mean: unit.MbpsOf(p.f64(6)), Peak: unit.MbpsOf(p.f64(7)),
+				MeanNoBT: unit.MbpsOf(p.f64(8)), PeakNoBT: unit.MbpsOf(p.f64(9)),
+			},
+			After: UsageSummary{
+				Mean: unit.MbpsOf(p.f64(10)), Peak: unit.MbpsOf(p.f64(11)),
+				MeanNoBT: unit.MbpsOf(p.f64(12)), PeakNoBT: unit.MbpsOf(p.f64(13)),
+			},
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("dataset: switches row %d: %w", n+2, p.err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+var planHeader = []string{
+	"country", "isp", "down_mbps", "up_mbps", "price_local", "price_usd",
+	"cap_gb", "tech", "dedicated",
+}
+
+// WritePlans streams the plan survey as CSV.
+func WritePlans(w io.Writer, plans []market.Plan) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(planHeader); err != nil {
+		return err
+	}
+	for _, p := range plans {
+		rec := []string{
+			p.Country, p.ISP,
+			f(p.Down.Mbps()), f(p.Up.Mbps()),
+			f(p.PriceLocal), f(p.PriceUSD.Dollars()),
+			f(p.Cap.GB()),
+			strconv.Itoa(int(p.Tech)),
+			strconv.FormatBool(p.Dedicated),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPlans parses a plan survey CSV produced by WritePlans.
+func ReadPlans(r io.Reader) ([]market.Plan, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty plans file")
+	}
+	if err := checkHeader(rows[0], planHeader); err != nil {
+		return nil, err
+	}
+	out := make([]market.Plan, 0, len(rows)-1)
+	for n, rec := range rows[1:] {
+		if len(rec) != len(planHeader) {
+			return nil, fmt.Errorf("dataset: plans row %d has %d fields, want %d", n+2, len(rec), len(planHeader))
+		}
+		p := &parser{rec: rec}
+		plan := market.Plan{
+			Country:    rec[0],
+			ISP:        rec[1],
+			Down:       unit.MbpsOf(p.f64(2)),
+			Up:         unit.MbpsOf(p.f64(3)),
+			PriceLocal: p.f64(4),
+			PriceUSD:   unit.USD(p.f64(5)),
+			Cap:        unit.ByteSize(p.f64(6) * float64(unit.GB)),
+			Tech:       market.Technology(p.int(7)),
+			Dedicated:  p.boolAt(8),
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("dataset: plans row %d: %w", n+2, p.err)
+		}
+		out = append(out, plan)
+	}
+	return out, nil
+}
+
+// SaveDir writes the dataset's users, switches and plans under dir as
+// users.csv, switches.csv and plans.csv.
+func (d *Dataset) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		fp, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer fp.Close()
+		if err := fn(fp); err != nil {
+			return fmt.Errorf("dataset: writing %s: %w", name, err)
+		}
+		return fp.Close()
+	}
+	if err := write("users.csv", func(w io.Writer) error { return WriteUsers(w, d.Users) }); err != nil {
+		return err
+	}
+	if err := write("switches.csv", func(w io.Writer) error { return WriteSwitches(w, d.Switches) }); err != nil {
+		return err
+	}
+	return write("plans.csv", func(w io.Writer) error { return WritePlans(w, d.Plans) })
+}
+
+// f formats a float compactly for CSV.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 9, 64) }
+
+func checkHeader(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("dataset: header has %d columns, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("dataset: header column %d is %q, want %q", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// parser accumulates the first conversion error over a CSV record.
+type parser struct {
+	rec []string
+	err error
+}
+
+func (p *parser) f64(i int) float64 {
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(p.rec[i], 64)
+	if err != nil {
+		p.err = fmt.Errorf("field %d %q: %w", i, p.rec[i], err)
+	}
+	return v
+}
+
+func (p *parser) int(i int) int {
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.Atoi(p.rec[i])
+	if err != nil {
+		p.err = fmt.Errorf("field %d %q: %w", i, p.rec[i], err)
+	}
+	return v
+}
+
+func (p *parser) i64(i int) int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(p.rec[i], 10, 64)
+	if err != nil {
+		p.err = fmt.Errorf("field %d %q: %w", i, p.rec[i], err)
+	}
+	return v
+}
+
+func (p *parser) boolAt(i int) bool {
+	if p.err != nil {
+		return false
+	}
+	v, err := strconv.ParseBool(p.rec[i])
+	if err != nil {
+		p.err = fmt.Errorf("field %d %q: %w", i, p.rec[i], err)
+	}
+	return v
+}

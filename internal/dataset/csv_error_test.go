@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// errWriter fails after n bytes, exercising the write-error paths.
+type errWriter struct {
+	n int
+}
+
+var errSink = errors.New("sink full")
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errSink
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWritersSurfaceSinkErrors(t *testing.T) {
+	d := sampleDataset()
+	if err := WriteUsers(&errWriter{}, d.Users); err == nil {
+		t.Error("WriteUsers must surface write failures")
+	}
+	if err := WriteUsers(&errWriter{n: 64}, d.Users); err == nil {
+		t.Error("WriteUsers must surface mid-stream failures")
+	}
+	if err := WriteSwitches(&errWriter{}, d.Switches); err == nil {
+		t.Error("WriteSwitches must surface write failures")
+	}
+	if err := WritePlans(&errWriter{}, d.Plans); err == nil {
+		t.Error("WritePlans must surface write failures")
+	}
+}
+
+// truncReader returns a header then cuts off mid-record.
+func TestReadersRejectTruncation(t *testing.T) {
+	var b strings.Builder
+	if err := WriteUsers(&writerTo{&b}, sampleDataset().Users); err != nil {
+		t.Fatal(err)
+	}
+	full := b.String()
+	// Chop inside the final record: the CSV reader sees a short row.
+	cut := full[:len(full)-10]
+	if _, err := ReadUsers(strings.NewReader(cut)); err == nil {
+		t.Error("truncated users CSV should fail")
+	}
+}
+
+type writerTo struct{ b *strings.Builder }
+
+func (w *writerTo) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+var _ io.Writer = (*writerTo)(nil)
+
+func TestSaveDirUnwritable(t *testing.T) {
+	// A path through an existing FILE cannot be created as a directory.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := sampleDataset().SaveDir(dir); err != nil {
+		t.Fatalf("control save failed: %v", err)
+	}
+	if err := writeFile(blocker, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleDataset().SaveDir(filepath.Join(blocker, "sub")); err == nil {
+		t.Error("SaveDir through a file should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

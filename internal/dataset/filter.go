@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"github.com/nwca/broadband/internal/stats"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// Pred is a user predicate.
+type Pred func(*User) bool
+
+// Select returns pointers to the users satisfying every predicate.
+func Select(users []User, preds ...Pred) []*User {
+	var out []*User
+outer:
+	for i := range users {
+		for _, p := range preds {
+			if !p(&users[i]) {
+				continue outer
+			}
+		}
+		out = append(out, &users[i])
+	}
+	return out
+}
+
+// ByCountry keeps users in the given country.
+func ByCountry(code string) Pred {
+	return func(u *User) bool { return u.Country == code }
+}
+
+// NotCountry keeps users outside the given country.
+func NotCountry(code string) Pred {
+	return func(u *User) bool { return u.Country != code }
+}
+
+// ByVantage keeps users observed from the given platform.
+func ByVantage(v Vantage) Pred {
+	return func(u *User) bool { return u.Vantage == v }
+}
+
+// ByYear keeps users observed in the given year.
+func ByYear(y int) Pred {
+	return func(u *User) bool { return u.Year == y }
+}
+
+// ByTier keeps users whose measured capacity falls in the given tier.
+func ByTier(t stats.Tier) Pred {
+	return func(u *User) bool { return stats.TierOf(u.Capacity) == t }
+}
+
+// ByClass keeps users whose measured capacity falls in the given
+// 100 kbps × 2^k capacity class.
+func ByClass(c stats.CapacityClass) Pred {
+	return func(u *User) bool { return c.Contains(u.Capacity) }
+}
+
+// CapacityBetween keeps users with measured capacity in (lo, hi].
+func CapacityBetween(lo, hi unit.Bitrate) Pred {
+	return func(u *User) bool { return u.Capacity > lo && u.Capacity <= hi }
+}
+
+// Metric extracts one demand (or context) figure from a user; experiments
+// parameterize on it.
+type Metric func(*User) float64
+
+// Named demand metrics used throughout the experiments. All are in bits
+// per second.
+var (
+	MeanUsage     Metric = func(u *User) float64 { return float64(u.Usage.Mean) }
+	PeakUsage     Metric = func(u *User) float64 { return float64(u.Usage.Peak) }
+	MeanUsageNoBT Metric = func(u *User) float64 { return float64(u.Usage.MeanNoBT) }
+	PeakUsageNoBT Metric = func(u *User) float64 { return float64(u.Usage.PeakNoBT) }
+)
+
+// Values applies a metric to a user set.
+func Values(users []*User, m Metric) []float64 {
+	out := make([]float64, len(users))
+	for i, u := range users {
+		out[i] = m(u)
+	}
+	return out
+}
+
+// Capacities extracts measured download capacities in bps.
+func Capacities(users []*User) []float64 {
+	out := make([]float64, len(users))
+	for i, u := range users {
+		out[i] = float64(u.Capacity)
+	}
+	return out
+}
+
+// All converts a user slice to pointers without filtering.
+func All(users []User) []*User {
+	out := make([]*User, len(users))
+	for i := range users {
+		out[i] = &users[i]
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/nwca/broadband/internal/market"
+)
+
+// LoadDir reads a dataset previously written by SaveDir (users.csv,
+// switches.csv, plans.csv) and reconstructs the per-market summaries from
+// the plan survey. Country metadata (region, GDP per capita) is rejoined
+// from the built-in market profiles; plans for countries without a profile
+// are kept but contribute no market summary.
+func LoadDir(dir string) (*Dataset, error) {
+	d := &Dataset{Markets: make(map[string]market.MarketSummary)}
+
+	read := func(name string, fn func(*os.File) error) error {
+		fp, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer fp.Close()
+		return fn(fp)
+	}
+	if err := read("users.csv", func(f *os.File) error {
+		users, err := ReadUsers(f)
+		if err != nil {
+			return err
+		}
+		d.Users = users
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("dataset: loading users: %w", err)
+	}
+	if err := read("switches.csv", func(f *os.File) error {
+		switches, err := ReadSwitches(f)
+		if err != nil {
+			return err
+		}
+		d.Switches = switches
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("dataset: loading switches: %w", err)
+	}
+	if err := read("plans.csv", func(f *os.File) error {
+		plans, err := ReadPlans(f)
+		if err != nil {
+			return err
+		}
+		d.Plans = plans
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("dataset: loading plans: %w", err)
+	}
+
+	// Rebuild per-market summaries from the survey rows.
+	byCountry := make(map[string]*market.Catalog)
+	for _, p := range d.Plans {
+		cat := byCountry[p.Country]
+		if cat == nil {
+			cat = &market.Catalog{}
+			if prof, ok := market.FindProfile(p.Country); ok {
+				cat.Country = prof.Country
+			} else {
+				cat.Country = market.Country{Code: p.Country, Name: p.Country}
+			}
+			byCountry[p.Country] = cat
+		}
+		cat.Plans = append(cat.Plans, p)
+	}
+	for code, cat := range byCountry {
+		sum, err := market.Summarize(*cat)
+		if err != nil {
+			continue // markets with no ≥1 Mbps plan carry no summary
+		}
+		d.Markets[code] = sum
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: loaded data invalid: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+func TestLoadDirRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	d := sampleDataset()
+	// Give the sample enough plans for summaries to rebuild.
+	for _, mbps := range []float64{1, 2, 4, 8, 16} {
+		d.Plans = append(d.Plans,
+			planFor("US", mbps, 20+0.55*(mbps-1)),
+			planFor("JP", mbps, 21+0.08*(mbps-1)),
+		)
+	}
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != len(d.Users) || len(back.Switches) != len(d.Switches) {
+		t.Fatalf("round trip: %d users %d switches", len(back.Users), len(back.Switches))
+	}
+	// Market summaries rebuilt from the survey, with country metadata
+	// rejoined from the built-in profiles.
+	us, ok := back.Markets["US"]
+	if !ok {
+		t.Fatal("US market summary missing after load")
+	}
+	if us.Country.Name != "United States" || us.Country.GDPPerCapitaPPP != 49797 {
+		t.Errorf("US country metadata not rejoined: %+v", us.Country)
+	}
+	if us.AccessPrice < 15 || us.AccessPrice > 25 {
+		t.Errorf("US access price rebuilt as %v", us.AccessPrice)
+	}
+	// The sample fixture carries one off-line plan (10 Mbps at $45), which
+	// legitimately steepens the rebuilt OLS slope above the 0.55 the added
+	// ladder implies.
+	if got := float64(us.Upgrade.Slope); got < 0.4 || got > 1.2 {
+		t.Errorf("US upgrade slope rebuilt as %v", got)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("loaded dataset invalid: %v", err)
+	}
+}
+
+func TestLoadDirMissingFiles(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory should fail to load")
+	}
+}
+
+func planFor(cc string, mbps, price float64) (p market.Plan) {
+	p.Country = cc
+	p.ISP = cc + "-ISP1"
+	p.Down = unit.MbpsOf(mbps)
+	p.Up = unit.MbpsOf(mbps / 4)
+	p.PriceUSD = unit.USD(price)
+	p.PriceLocal = price
+	return p
+}

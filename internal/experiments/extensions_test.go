@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nwca/broadband/internal/traffic"
+)
+
+func TestExtensionsRegistry(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 3 {
+		t.Fatalf("extensions = %d", len(exts))
+	}
+	d := evalData(t)
+	for _, e := range exts {
+		rep, err := e.Run(d, rng(e.ID))
+		if err != nil {
+			t.Errorf("%s failed: %v", e.ID, err)
+			continue
+		}
+		if rep.ID() != e.ID || !strings.Contains(rep.Render(), e.ID) {
+			t.Errorf("%s render/id mismatch", e.ID)
+		}
+	}
+	if _, ok := FindExtension("Ext. A"); !ok {
+		t.Error("FindExtension failed")
+	}
+	if _, ok := FindExtension("Ext. Z"); ok {
+		t.Error("FindExtension resolved a bogus id")
+	}
+}
+
+func TestExtACapsSuppressDemand(t *testing.T) {
+	rep, err := RunExtA(evalData(t), rng("extA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep.(*ExtA)
+	if e.CappedShare <= 0.02 || e.CappedShare >= 0.6 {
+		t.Errorf("capped share = %.2f, expected a real minority", e.CappedShare)
+	}
+	if e.Skipped && e.TightSkipped {
+		t.Fatal("both comparisons skipped")
+	}
+	// Most caps are generous and never bind, so the any-cap comparison may
+	// sit near chance; it must not invert hard.
+	if !e.Skipped && e.Result.Fraction() < 0.45 {
+		t.Errorf("any-cap comparison inverted: %v", e.Result)
+	}
+	// The binding caps carry the effect; at the eval world's size the
+	// tight group holds only a few dozen pairs, so the strict bound only
+	// applies to well-powered samples (the 12k-user bbrepro run shows
+	// 66% at n=83).
+	if e.TightSkipped {
+		t.Fatal("tight-cap comparison skipped")
+	}
+	if e.TightResult.Pairs >= 60 {
+		if e.TightResult.Fraction() <= 0.54 {
+			t.Errorf("binding caps should clearly suppress demand: %v", e.TightResult)
+		}
+	} else if e.TightResult.Fraction() < 0.40 {
+		t.Errorf("tight-cap comparison inverted hard at n=%d: %v", e.TightResult.Pairs, e.TightResult)
+	}
+}
+
+func TestExtCDesignsAgree(t *testing.T) {
+	rep, err := RunExtC(evalData(t), rng("extC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep.(*ExtC)
+	agree, populated := 0, 0
+	for _, r := range e.Rows {
+		if r.NNSkipped || r.QEDSkipped {
+			continue
+		}
+		populated++
+		if r.Agree() {
+			agree++
+		}
+	}
+	if populated < 3 {
+		t.Fatalf("only %d rungs populated in both designs", populated)
+	}
+	if float64(agree)/float64(populated) < 0.7 {
+		t.Errorf("the designs disagree on %d/%d rungs", populated-agree, populated)
+	}
+}
+
+func TestExtBArchetypeContrasts(t *testing.T) {
+	rep, err := RunExtB(evalData(t), rng("extB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep.(*ExtB)
+	byArch := map[traffic.Archetype]ExtBRow{}
+	for _, r := range e.Rows {
+		byArch[r.Archetype] = r
+	}
+	str, okS := byArch[traffic.Streamer]
+	bro, okB := byArch[traffic.Browser]
+	if !okS || !okB {
+		t.Fatal("streamer/browser rows missing")
+	}
+	if str.MeanDemand.Point <= bro.MeanDemand.Point {
+		t.Errorf("streamers should out-consume browsers: %.3f vs %.3f Mbps",
+			str.MeanDemand.Point/1e6, bro.MeanDemand.Point/1e6)
+	}
+	if !e.Skipped {
+		if e.StreamerVsBrowser.Fraction() <= 0.55 {
+			t.Errorf("matched streamer-vs-browser too weak: %v", e.StreamerVsBrowser)
+		}
+	}
+	if e.GamerHighRTTBelowMedian > 0 && e.GamerHighRTTBelowMedian < 0.5 {
+		t.Errorf("high-latency gamers should skew below their category median: %.2f", e.GamerHighRTTBelowMedian)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Fig01 reproduces Figure 1: the CDFs of measured download capacity,
+// latency to the nearest measurement server, and packet-loss rate across
+// the global end-host population, plus the headline statistics the paper
+// reads off them (median capacity ≈7.4 Mbps with IQR 3.1–17.4; ~10% of
+// users below 1 Mbps and ~10% above 30 Mbps; typical RTT ≈100 ms with the
+// top 5% above 500 ms; ~14% of users with loss above 1%).
+type Fig01 struct {
+	Capacity stats.Summary // Mbps
+	RTT      stats.Summary // seconds
+	Loss     stats.Summary // fraction
+
+	FracBelow1Mbps  float64
+	FracAbove30Mbps float64
+	FracRTTOver500  float64
+	FracLossOver1   float64
+
+	capVals, rttVals, lossVals []float64
+}
+
+// ID implements Report.
+func (f *Fig01) ID() string { return "Fig. 1" }
+
+// Title implements Report.
+func (f *Fig01) Title() string {
+	return "CDFs of download capacity, latency and packet loss (all users)"
+}
+
+// Render implements Report.
+func (f *Fig01) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	if s, err := ecdfQuantiles("(a) download capacity", f.capVals, fmtMbps); err == nil {
+		b.WriteString(s)
+	}
+	if s, err := ecdfQuantiles("(b) latency", f.rttVals, fmtMs); err == nil {
+		b.WriteString(s)
+	}
+	if s, err := ecdfQuantiles("(c) packet loss", f.lossVals, fmtPct); err == nil {
+		b.WriteString(s)
+	}
+	fmt.Fprintf(&b, "  median capacity %.3g Mbps (IQR %.3g–%.3g); %.0f%% below 1 Mbps, %.0f%% above 30 Mbps\n",
+		f.Capacity.Median, f.Capacity.P25, f.Capacity.P75, 100*f.FracBelow1Mbps, 100*f.FracAbove30Mbps)
+	fmt.Fprintf(&b, "  median RTT %.0f ms; %.1f%% above 500 ms\n", f.RTT.Median*1000, 100*f.FracRTTOver500)
+	fmt.Fprintf(&b, "  median loss %.3g%%; %.1f%% of users above 1%% loss\n", f.Loss.Median*100, 100*f.FracLossOver1)
+	return b.String()
+}
+
+// RunFig01 computes the characterization figure.
+func RunFig01(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	users := dasuUsers(d, 0)
+	if len(users) == 0 {
+		return nil, fmt.Errorf("fig01: no end-host users")
+	}
+	f := &Fig01{}
+	for _, u := range users {
+		f.capVals = append(f.capVals, float64(u.Capacity))
+		f.rttVals = append(f.rttVals, u.RTT)
+		f.lossVals = append(f.lossVals, float64(u.Loss))
+		if u.Capacity < 1e6 {
+			f.FracBelow1Mbps++
+		}
+		if u.Capacity > 30e6 {
+			f.FracAbove30Mbps++
+		}
+		if u.RTT > 0.5 {
+			f.FracRTTOver500++
+		}
+		if u.Loss > 0.01 {
+			f.FracLossOver1++
+		}
+	}
+	n := float64(len(users))
+	f.FracBelow1Mbps /= n
+	f.FracAbove30Mbps /= n
+	f.FracRTTOver500 /= n
+	f.FracLossOver1 /= n
+
+	capMbps := make([]float64, len(f.capVals))
+	for i, v := range f.capVals {
+		capMbps[i] = v / 1e6
+	}
+	var err error
+	if f.Capacity, err = stats.Summarize(capMbps); err != nil {
+		return nil, err
+	}
+	if f.RTT, err = stats.Summarize(f.rttVals); err != nil {
+		return nil, err
+	}
+	if f.Loss, err = stats.Summarize(f.lossVals); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// Fig02 reproduces Figure 2: mean and peak (95th-percentile) download
+// demand versus download capacity, with and without BitTorrent traffic,
+// aggregated over the paper's capacity classes. The paper's headline is the
+// strong log-log correlation (r ≥ 0.87 in every panel) together with the
+// law of diminishing returns (growth flattens at high capacities).
+type Fig02 struct {
+	Panels []Fig02Panel
+}
+
+// Fig02Panel is one of the four subfigures.
+type Fig02Panel struct {
+	Name   string
+	Series Series
+	R      float64 // log-log correlation of the binned series
+}
+
+// ID implements Report.
+func (f *Fig02) ID() string { return "Fig. 2" }
+
+// Title implements Report.
+func (f *Fig02) Title() string { return "Download demand vs. link capacity (by capacity class)" }
+
+// Render implements Report.
+func (f *Fig02) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "  panel %s (log-log r = %.3f)\n", p.Name, p.R)
+		b.WriteString(p.Series.render("cap (Mbps)", "usage (Mbps)", 1e-6))
+	}
+	return b.String()
+}
+
+// RunFig02 computes the capacity-vs-usage figure.
+func RunFig02(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	users := dasuUsers(d, 0)
+	if len(users) == 0 {
+		return nil, fmt.Errorf("fig02: no end-host users")
+	}
+	panels := []struct {
+		name   string
+		metric dataset.Metric
+	}{
+		{"(a) mean w/ BT", dataset.MeanUsage},
+		{"(b) 95th %ile w/ BT", dataset.PeakUsage},
+		{"(c) mean no BT", dataset.MeanUsageNoBT},
+		{"(d) 95th %ile no BT", dataset.PeakUsageNoBT},
+	}
+	f := &Fig02{}
+	for _, p := range panels {
+		s := classSeries(p.name, users, p.metric, MinGroup)
+		if len(s.Points) < 3 {
+			return nil, fmt.Errorf("fig02: panel %q has only %d populated classes", p.name, len(s.Points))
+		}
+		r, err := seriesLogCorrelation(s)
+		if err != nil {
+			return nil, fmt.Errorf("fig02: panel %q: %w", p.name, err)
+		}
+		f.Panels = append(f.Panels, Fig02Panel{Name: p.name, Series: s, R: r})
+	}
+	return f, nil
+}
+
+// DiminishingReturns reports, for a binned usage series, the log-log slope
+// of the low-capacity half versus the high-capacity half. The paper's "law
+// of diminishing returns" is lowSlope > highSlope.
+func DiminishingReturns(s Series) (lowSlope, highSlope float64, ok bool) {
+	if len(s.Points) < 4 {
+		return 0, 0, false
+	}
+	mid := len(s.Points) / 2
+	slope := func(pts []SeriesPoint) (float64, bool) {
+		// Least-squares on (log x, log y).
+		var xs, ys []float64
+		for _, p := range pts {
+			if p.X > 0 && p.Y > 0 {
+				xs = append(xs, math.Log(p.X))
+				ys = append(ys, math.Log(p.Y))
+			}
+		}
+		if len(xs) < 2 {
+			return 0, false
+		}
+		var mx, my float64
+		for i := range xs {
+			mx += xs[i]
+			my += ys[i]
+		}
+		mx /= float64(len(xs))
+		my /= float64(len(ys))
+		var sxx, sxy float64
+		for i := range xs {
+			sxx += (xs[i] - mx) * (xs[i] - mx)
+			sxy += (xs[i] - mx) * (ys[i] - my)
+		}
+		if sxx == 0 {
+			return 0, false
+		}
+		return sxy / sxx, true
+	}
+	lo, ok1 := slope(s.Points[:mid+1])
+	hi, ok2 := slope(s.Points[mid:])
+	return lo, hi, ok1 && ok2
+}

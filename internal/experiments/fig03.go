@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// Fig03 reproduces Figure 3: mean and peak demand by capacity class for the
+// FCC gateway panel versus US end-host (Dasu) users when not using
+// BitTorrent. The paper's reading: average usage is slightly higher for the
+// end-host panel (its sampling is biased toward busy hours) while peak
+// usage is nearly identical; both correlate strongly with capacity
+// (r ≈ 0.915 and 0.905).
+type Fig03 struct {
+	MeanFCC, MeanDasu Series
+	PeakFCC, PeakDasu Series
+	RMean, RPeak      float64 // over the pooled panels, as the paper reports one r per subfigure
+	// MeanRatio and PeakRatio compare Dasu to FCC within shared classes.
+	MeanRatio, PeakRatio float64
+}
+
+// ID implements Report.
+func (f *Fig03) ID() string { return "Fig. 3" }
+
+// Title implements Report.
+func (f *Fig03) Title() string {
+	return "FCC gateway vs. Dasu US end-host demand by capacity (no BitTorrent)"
+}
+
+// Render implements Report.
+func (f *Fig03) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	fmt.Fprintf(&b, "  (a) mean (r = %.3f)\n", f.RMean)
+	b.WriteString(f.MeanFCC.render("cap (Mbps)", "usage (Mbps)", 1e-6))
+	b.WriteString(f.MeanDasu.render("cap (Mbps)", "usage (Mbps)", 1e-6))
+	fmt.Fprintf(&b, "  (b) 95th %%ile (r = %.3f)\n", f.RPeak)
+	b.WriteString(f.PeakFCC.render("cap (Mbps)", "usage (Mbps)", 1e-6))
+	b.WriteString(f.PeakDasu.render("cap (Mbps)", "usage (Mbps)", 1e-6))
+	fmt.Fprintf(&b, "  Dasu/FCC ratio in shared classes: mean ×%.2f, peak ×%.2f\n", f.MeanRatio, f.PeakRatio)
+	return b.String()
+}
+
+// RunFig03 computes the cross-vantage comparison.
+func RunFig03(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	year := primaryYear(d)
+	fcc := dataset.Select(d.Users, dataset.ByVantage(dataset.VantageGateway))
+	dasuUS := dataset.Select(d.Users,
+		dataset.ByVantage(dataset.VantageDasu), dataset.ByCountry("US"), dataset.ByYear(year))
+	if len(fcc) == 0 || len(dasuUS) == 0 {
+		return nil, fmt.Errorf("fig03: need both panels (fcc=%d, dasu-us=%d)", len(fcc), len(dasuUS))
+	}
+	f := &Fig03{
+		MeanFCC:  classSeries("FCC mean", fcc, dataset.MeanUsageNoBT, MinGroup),
+		MeanDasu: classSeries("Dasu US mean", dasuUS, dataset.MeanUsageNoBT, MinGroup),
+		PeakFCC:  classSeries("FCC 95th %ile", fcc, dataset.PeakUsageNoBT, MinGroup),
+		PeakDasu: classSeries("Dasu US 95th %ile", dasuUS, dataset.PeakUsageNoBT, MinGroup),
+	}
+	if len(f.MeanFCC.Points) < 2 || len(f.MeanDasu.Points) < 2 {
+		return nil, fmt.Errorf("fig03: too few populated classes")
+	}
+	pooledR := func(a, b Series) (float64, error) {
+		joined := Series{Points: append(append([]SeriesPoint{}, a.Points...), b.Points...)}
+		return seriesLogCorrelation(joined)
+	}
+	var err error
+	if f.RMean, err = pooledR(f.MeanFCC, f.MeanDasu); err != nil {
+		return nil, err
+	}
+	if f.RPeak, err = pooledR(f.PeakFCC, f.PeakDasu); err != nil {
+		return nil, err
+	}
+	f.MeanRatio = sharedClassRatio(f.MeanDasu, f.MeanFCC)
+	f.PeakRatio = sharedClassRatio(f.PeakDasu, f.PeakFCC)
+	return f, nil
+}
+
+// sharedClassRatio averages a/b over x-positions both series populate.
+func sharedClassRatio(a, b Series) float64 {
+	bByX := make(map[float64]float64, len(b.Points))
+	for _, p := range b.Points {
+		bByX[p.X] = p.Y
+	}
+	total, n := 0.0, 0
+	for _, p := range a.Points {
+		if bv, ok := bByX[p.X]; ok && bv > 0 {
+			total += p.Y / bv
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Fig04 reproduces Figure 4: the CDFs of mean and peak (no-BT) usage for
+// switching users on their "slow" and "fast" networks. The paper's
+// landmarks: median mean usage roughly doubles (95 → 189 kbps) and median
+// peak usage more than triples (192 → 634 kbps).
+type Fig04 struct {
+	MeanSlowMedian, MeanFastMedian float64 // bps
+	PeakSlowMedian, PeakFastMedian float64 // bps
+
+	meanSlow, meanFast []float64
+	peakSlow, peakFast []float64
+}
+
+// ID implements Report.
+func (f *Fig04) ID() string { return "Fig. 4" }
+
+// Title implements Report.
+func (f *Fig04) Title() string {
+	return "Usage CDFs on slow vs. fast networks for switching users (no BT)"
+}
+
+// Render implements Report.
+func (f *Fig04) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	for _, row := range []struct {
+		label string
+		vals  []float64
+	}{
+		{"(a) mean, slow network", f.meanSlow},
+		{"(a) mean, fast network", f.meanFast},
+		{"(b) 95th %ile, slow network", f.peakSlow},
+		{"(b) 95th %ile, fast network", f.peakFast},
+	} {
+		if s, err := ecdfQuantiles(row.label, row.vals, fmtMbps); err == nil {
+			b.WriteString(s)
+		}
+	}
+	fmt.Fprintf(&b, "  median mean usage: %.0f → %.0f kbps (×%.2f)\n",
+		f.MeanSlowMedian/1e3, f.MeanFastMedian/1e3, ratio(f.MeanFastMedian, f.MeanSlowMedian))
+	fmt.Fprintf(&b, "  median peak usage: %.0f → %.0f kbps (×%.2f)\n",
+		f.PeakSlowMedian/1e3, f.PeakFastMedian/1e3, ratio(f.PeakFastMedian, f.PeakSlowMedian))
+	return b.String()
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// RunFig04 computes the slow/fast usage CDFs from the switch panel.
+func RunFig04(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	if len(d.Switches) == 0 {
+		return nil, fmt.Errorf("fig04: no switch records")
+	}
+	f := &Fig04{}
+	for _, s := range d.Switches {
+		f.meanSlow = append(f.meanSlow, float64(s.Before.MeanNoBT))
+		f.meanFast = append(f.meanFast, float64(s.After.MeanNoBT))
+		f.peakSlow = append(f.peakSlow, float64(s.Before.PeakNoBT))
+		f.peakFast = append(f.peakFast, float64(s.After.PeakNoBT))
+	}
+	var err error
+	if f.MeanSlowMedian, err = stats.Median(f.meanSlow); err != nil {
+		return nil, err
+	}
+	if f.MeanFastMedian, err = stats.Median(f.meanFast); err != nil {
+		return nil, err
+	}
+	if f.PeakSlowMedian, err = stats.Median(f.peakSlow); err != nil {
+		return nil, err
+	}
+	if f.PeakFastMedian, err = stats.Median(f.peakFast); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nwca/broadband/internal/core"
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Fig06 reproduces Figure 6 and the Sec. 4 longitudinal analysis: demand
+// versus capacity class, one curve per year. The paper's finding is a
+// non-result with teeth: despite the multi-fold growth in global traffic,
+// within-class demand stays constant across 2011–2013 — growth comes from
+// subscribers moving to higher classes, not from using existing classes
+// harder. The companion natural experiment (same class, 2013 vs 2011) must
+// therefore come out null.
+type Fig06 struct {
+	Years  []int
+	Panels []Fig06Panel
+	// YearExperiments tests, per populated class, H: 2013 users impose
+	// higher peak demand than 2011 users of the same class.
+	YearExperiments []Fig06Exp
+}
+
+// Fig06Panel is one subfigure (metric × BT handling) with one series per year.
+type Fig06Panel struct {
+	Name   string
+	Series []Series
+}
+
+// Fig06Exp is a per-class cross-year comparison.
+type Fig06Exp struct {
+	Class   stats.CapacityClass
+	Result  core.Result
+	Skipped bool
+}
+
+// ID implements Report.
+func (f *Fig06) ID() string { return "Fig. 6" }
+
+// Title implements Report.
+func (f *Fig06) Title() string { return "Longitudinal demand vs. capacity, by year (2011–2013)" }
+
+// Render implements Report.
+func (f *Fig06) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "  panel %s\n", p.Name)
+		for _, s := range p.Series {
+			b.WriteString(s.render("cap (Mbps)", "usage (Mbps)", 1e-6))
+		}
+	}
+	b.WriteString("  cross-year experiment per class (H: later year uses more; expected NULL):\n")
+	for _, e := range f.YearExperiments {
+		if e.Skipped {
+			fmt.Fprintf(&b, "    %-22s (too few pairs)\n", e.Class)
+			continue
+		}
+		verdict := "null ✓"
+		if e.Result.Sig.Significant() {
+			verdict = "SIGNIFICANT"
+		}
+		fmt.Fprintf(&b, "    %-22s %5.1f%% p=%s  %s\n",
+			e.Class, 100*e.Result.Fraction(), formatP(e.Result.PValue()), verdict)
+	}
+	return b.String()
+}
+
+// RunFig06 computes the longitudinal figure and its companion experiment.
+func RunFig06(d *dataset.Dataset, rng *randx.Source) (Report, error) {
+	yearsSet := map[int]bool{}
+	for i := range d.Users {
+		if d.Users[i].Vantage == dataset.VantageDasu {
+			yearsSet[d.Users[i].Year] = true
+		}
+	}
+	var years []int
+	for y := range yearsSet {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	if len(years) < 2 {
+		return nil, fmt.Errorf("fig06: need at least two cohort years, have %v", years)
+	}
+	f := &Fig06{Years: years}
+	panels := []struct {
+		name   string
+		metric dataset.Metric
+	}{
+		{"(a) mean w/ BT", dataset.MeanUsage},
+		{"(b) 95th %ile w/ BT", dataset.PeakUsage},
+		{"(c) mean no BT", dataset.MeanUsageNoBT},
+		{"(d) 95th %ile no BT", dataset.PeakUsageNoBT},
+	}
+	for _, p := range panels {
+		panel := Fig06Panel{Name: p.name}
+		for _, y := range years {
+			users := dasuUsers(d, y)
+			panel.Series = append(panel.Series, classSeries(fmt.Sprintf("%d", y), users, p.metric, MinGroup))
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+
+	// Companion experiment: within each class, latest year vs earliest.
+	first, last := years[0], years[len(years)-1]
+	firstUsers := dasuUsers(d, first)
+	lastUsers := dasuUsers(d, last)
+	byClass := func(us []*dataset.User) map[stats.CapacityClass][]*dataset.User {
+		m := make(map[stats.CapacityClass][]*dataset.User)
+		for _, u := range us {
+			m[stats.ClassOf(u.Capacity)] = append(m[stats.ClassOf(u.Capacity)], u)
+		}
+		return m
+	}
+	oldByClass, newByClass := byClass(firstUsers), byClass(lastUsers)
+	var classes []stats.CapacityClass
+	for c := range newByClass {
+		if len(oldByClass[c]) >= MinGroup && len(newByClass[c]) >= MinGroup {
+			classes = append(classes, c)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		exp := core.Experiment{
+			Name:      fmt.Sprintf("%v: %d vs %d", c, last, first),
+			Treatment: newByClass[c],
+			Control:   oldByClass[c],
+			Matcher:   quadMatcher(),
+			Outcome:   dataset.PeakUsageNoBT,
+			MinPairs:  MinGroup,
+		}
+		res, err := exp.Run(rng.SplitN("year", int(c)))
+		e := Fig06Exp{Class: c}
+		switch {
+		case errors.Is(err, core.ErrTooFewPairs):
+			e.Skipped = true
+		case err != nil:
+			return nil, err
+		default:
+			e.Result = res
+		}
+		f.YearExperiments = append(f.YearExperiments, e)
+	}
+	if len(f.YearExperiments) == 0 {
+		return nil, fmt.Errorf("fig06: no class populated in both %d and %d", first, last)
+	}
+	return f, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Fig07 reproduces Figure 7: per-country CDFs of download capacity and of
+// peak (95th-percentile) link utilization for the four case-study markets.
+// The paper's observation: ordered by capacity the markets read Botswana <
+// Saudi Arabia < US < Japan — and ordered by peak utilization they read in
+// exactly the reverse order.
+type Fig07 struct {
+	Capacity    map[string][]float64 // Mbps values per country
+	Utilization map[string][]float64 // fractions per country
+	// MedianCapacity and MeanUtilization summarize the orderings.
+	MedianCapacity  map[string]float64
+	MeanUtilization map[string]float64
+}
+
+// ID implements Report.
+func (f *Fig07) ID() string { return "Fig. 7" }
+
+// Title implements Report.
+func (f *Fig07) Title() string {
+	return "Capacity and peak-utilization CDFs for the case-study markets"
+}
+
+// Render implements Report.
+func (f *Fig07) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	b.WriteString("  (a) download capacity\n")
+	for _, cc := range CaseStudyCountries {
+		if s, err := ecdfQuantiles(cc, f.Capacity[cc], func(v float64) string { return fmt.Sprintf("%.3g Mbps", v) }); err == nil {
+			b.WriteString("  " + s)
+		}
+	}
+	b.WriteString("  (b) 95th %ile link utilization\n")
+	for _, cc := range CaseStudyCountries {
+		if s, err := ecdfQuantiles(cc, f.Utilization[cc], fmtPct); err == nil {
+			b.WriteString("  " + s)
+		}
+	}
+	b.WriteString("  capacity order:    " + f.orderBy(f.MedianCapacity) + "\n")
+	b.WriteString("  utilization order: " + f.orderBy(f.MeanUtilization) + "\n")
+	return b.String()
+}
+
+func (f *Fig07) orderBy(vals map[string]float64) string {
+	ccs := append([]string(nil), CaseStudyCountries...)
+	sort.Slice(ccs, func(i, j int) bool { return vals[ccs[i]] < vals[ccs[j]] })
+	return strings.Join(ccs, " < ")
+}
+
+// RunFig07 computes the case-study CDFs.
+func RunFig07(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	f := &Fig07{
+		Capacity:        map[string][]float64{},
+		Utilization:     map[string][]float64{},
+		MedianCapacity:  map[string]float64{},
+		MeanUtilization: map[string]float64{},
+	}
+	for _, cc := range CaseStudyCountries {
+		users := dataset.Select(d.Users, dataset.ByCountry(cc), dataset.ByVantage(dataset.VantageDasu))
+		if len(users) < 5 {
+			return nil, fmt.Errorf("fig07: only %d users in %s", len(users), cc)
+		}
+		for _, u := range users {
+			f.Capacity[cc] = append(f.Capacity[cc], u.Capacity.Mbps())
+			f.Utilization[cc] = append(f.Utilization[cc], u.PeakUtilization())
+		}
+		med, err := stats.Median(f.Capacity[cc])
+		if err != nil {
+			return nil, err
+		}
+		f.MedianCapacity[cc] = med
+		mean, err := stats.Mean(f.Utilization[cc])
+		if err != nil {
+			return nil, err
+		}
+		f.MeanUtilization[cc] = mean
+	}
+	return f, nil
+}

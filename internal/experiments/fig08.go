@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Fig08 reproduces Figure 8: CDFs of peak link utilization per service tier
+// within each case-study country (all five tiers in the US; <1 Mbps in
+// Botswana; 1–8 Mbps in Saudi Arabia; >32 Mbps in Japan; a tier is plotted
+// only with enough users — the paper's rule is 30). Landmarks: US
+// utilization falls as the tier rises; Botswana's <1 Mbps tier averages
+// ≈80% versus ≈52% across the US; Saudi 1–8 Mbps median ≈60% vs ≈43% in
+// the US tier; Japan >32 Mbps averages ≈10%.
+type Fig08 struct {
+	Groups []Fig08Group
+}
+
+// Fig08Group is one country × tier utilization distribution.
+type Fig08Group struct {
+	Country string
+	Tier    stats.Tier
+	Values  []float64 // utilization fractions
+	Mean    float64
+	Median  float64
+}
+
+// ID implements Report.
+func (f *Fig08) ID() string { return "Fig. 8" }
+
+// Title implements Report.
+func (f *Fig08) Title() string { return "Peak utilization CDFs by service tier and country" }
+
+// Render implements Report.
+func (f *Fig08) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	for _, g := range f.Groups {
+		label := fmt.Sprintf("%s %s (n=%d)", g.Country, g.Tier, len(g.Values))
+		if s, err := ecdfQuantiles(label, g.Values, fmtPct); err == nil {
+			b.WriteString(s)
+		}
+		fmt.Fprintf(&b, "    mean %.0f%%, median %.0f%%\n", 100*g.Mean, 100*g.Median)
+	}
+	return b.String()
+}
+
+// Group returns the utilization group for a country/tier, if reported.
+func (f *Fig08) Group(country string, tier stats.Tier) (Fig08Group, bool) {
+	for _, g := range f.Groups {
+		if g.Country == country && g.Tier == tier {
+			return g, true
+		}
+	}
+	return Fig08Group{}, false
+}
+
+// RunFig08 computes the per-tier utilization distributions.
+func RunFig08(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	f := &Fig08{}
+	for _, cc := range CaseStudyCountries {
+		users := dataset.Select(d.Users, dataset.ByCountry(cc), dataset.ByVantage(dataset.VantageDasu))
+		for _, tier := range stats.Tiers() {
+			var vals []float64
+			for _, u := range users {
+				if stats.TierOf(u.Capacity) == tier {
+					vals = append(vals, u.PeakUtilization())
+				}
+			}
+			if len(vals) < MinGroup {
+				continue
+			}
+			mean, _ := stats.Mean(vals)
+			med, _ := stats.Median(vals)
+			f.Groups = append(f.Groups, Fig08Group{
+				Country: cc, Tier: tier, Values: vals, Mean: mean, Median: med,
+			})
+		}
+	}
+	if len(f.Groups) == 0 {
+		return nil, fmt.Errorf("fig08: no country×tier group reached %d users", MinGroup)
+	}
+	return f, nil
+}

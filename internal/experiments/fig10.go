@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// Fig10 reproduces Figure 10 and the Sec. 6 regression analysis: the CDF
+// across countries of the monthly cost of increasing capacity by 1 Mbps
+// (the per-market OLS slope of price on capacity), restricted to markets
+// with at least moderate price–capacity correlation (r > 0.4). Landmarks:
+// Japan/South Korea below $0.10; US/Canada slightly above $0.50;
+// Ghana/Uganda in the expensive upper region; strong correlation (r > 0.8)
+// in ≈66% of markets and moderate (r > 0.4) in ≈81%.
+type Fig10 struct {
+	// Slopes maps country code → upgrade cost, reliable markets only.
+	Slopes map[string]float64
+	// StrongShare and ModerateShare are the correlation-strength fractions
+	// over all markets.
+	StrongShare   float64
+	ModerateShare float64
+	// Callouts locate the paper's example markets in the distribution.
+	Callouts map[string]float64 // country → CDF position
+}
+
+// ID implements Report.
+func (f *Fig10) ID() string { return "Fig. 10" }
+
+// Title implements Report.
+func (f *Fig10) Title() string { return "CDF of the monthly cost to increase capacity by 1 Mbps" }
+
+// Render implements Report.
+func (f *Fig10) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	vals := f.sortedSlopes()
+	if s, err := ecdfQuantiles("cost per +1 Mbps", vals, func(v float64) string {
+		return fmt.Sprintf("$%.2f", v)
+	}); err == nil {
+		b.WriteString(s)
+	}
+	fmt.Fprintf(&b, "  markets with r > 0.8: %.0f%%; r > 0.4: %.0f%% (reliable set: %d countries)\n",
+		100*f.StrongShare, 100*f.ModerateShare, len(f.Slopes))
+	var ccs []string
+	for cc := range f.Callouts {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
+	for _, cc := range ccs {
+		fmt.Fprintf(&b, "  callout %s: slope $%.2f/Mbps at CDF position %.2f\n",
+			cc, f.Slopes[cc], f.Callouts[cc])
+	}
+	return b.String()
+}
+
+func (f *Fig10) sortedSlopes() []float64 {
+	vals := make([]float64, 0, len(f.Slopes))
+	for _, v := range f.Slopes {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// RunFig10 computes the upgrade-cost distribution from the plan survey.
+func RunFig10(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	if len(d.Markets) == 0 {
+		return nil, fmt.Errorf("fig10: no market summaries")
+	}
+	f := &Fig10{Slopes: map[string]float64{}, Callouts: map[string]float64{}}
+	strong, moderate, all := 0, 0, 0
+	for cc, ms := range d.Markets {
+		all++
+		if ms.Upgrade.StrongCorrelation() {
+			strong++
+		}
+		if ms.Upgrade.Reliable() {
+			moderate++
+			f.Slopes[cc] = float64(ms.Upgrade.Slope)
+		}
+	}
+	if len(f.Slopes) < 5 {
+		return nil, fmt.Errorf("fig10: only %d reliable markets", len(f.Slopes))
+	}
+	f.StrongShare = float64(strong) / float64(all)
+	f.ModerateShare = float64(moderate) / float64(all)
+
+	vals := f.sortedSlopes()
+	pos := func(v float64) float64 {
+		i := sort.SearchFloat64s(vals, v)
+		return float64(i) / float64(len(vals))
+	}
+	for _, cc := range []string{"JP", "KR", "US", "CA", "GH", "UG"} {
+		if v, ok := f.Slopes[cc]; ok {
+			f.Callouts[cc] = pos(v)
+		}
+	}
+	return f, nil
+}
+
+// marketsOf returns the market summaries grouped by region (used by the
+// Table 5 reproduction and the market-survey example).
+func marketsOf(d *dataset.Dataset) map[market.Region][]market.MarketSummary {
+	byRegion := map[market.Region][]market.MarketSummary{}
+	for _, ms := range d.Markets {
+		byRegion[ms.Country.Region] = append(byRegion[ms.Country.Region], ms)
+	}
+	return byRegion
+}

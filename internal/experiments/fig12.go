@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Fig12 reproduces Figure 12: the packet-loss CDF for users in India versus
+// the rest of the population. India's distribution sits well to the right —
+// the paper's evidence that poor connection quality (together with Fig. 11's
+// latencies) is the probable cause of India's depressed demand.
+type Fig12 struct {
+	India, Rest             []float64 // loss fractions
+	MedianIndia, MedianRest float64
+	FracIndiaOver1          float64 // share of Indian users above 1% loss
+	FracRestOver1           float64
+	// KS quantifies the CDF separation the figure shows.
+	KS stats.KSResult
+}
+
+// ID implements Report.
+func (f *Fig12) ID() string { return "Fig. 12" }
+
+// Title implements Report.
+func (f *Fig12) Title() string { return "Packet-loss CDFs: India vs. the rest of the population" }
+
+// Render implements Report.
+func (f *Fig12) Render() string {
+	var b strings.Builder
+	b.WriteString(header(f.ID(), f.Title()))
+	if s, err := ecdfQuantiles("India", f.India, fmtPct); err == nil {
+		b.WriteString(s)
+	}
+	if s, err := ecdfQuantiles("Rest of population", f.Rest, fmtPct); err == nil {
+		b.WriteString(s)
+	}
+	fmt.Fprintf(&b, "  median loss: India %.3g%% vs rest %.3g%%; above 1%%: India %.0f%% vs rest %.0f%%\n",
+		f.MedianIndia*100, f.MedianRest*100, 100*f.FracIndiaOver1, 100*f.FracRestOver1)
+	fmt.Fprintf(&b, "  KS separation D=%.3f (p=%s)\n", f.KS.D, formatP(f.KS.P))
+	return b.String()
+}
+
+// RunFig12 computes the India loss comparison.
+func RunFig12(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	users := dasuUsers(d, 0)
+	f := &Fig12{}
+	for _, u := range users {
+		l := float64(u.Loss)
+		if u.Country == "IN" {
+			f.India = append(f.India, l)
+			if l > 0.01 {
+				f.FracIndiaOver1++
+			}
+		} else {
+			f.Rest = append(f.Rest, l)
+			if l > 0.01 {
+				f.FracRestOver1++
+			}
+		}
+	}
+	if len(f.India) < MinGroup {
+		return nil, fmt.Errorf("fig12: only %d Indian users", len(f.India))
+	}
+	f.FracIndiaOver1 /= float64(len(f.India))
+	f.FracRestOver1 /= float64(len(f.Rest))
+	var err error
+	if f.MedianIndia, err = stats.Median(f.India); err != nil {
+		return nil, err
+	}
+	if f.MedianRest, err = stats.Median(f.Rest); err != nil {
+		return nil, err
+	}
+	if f.KS, err = stats.KSTest(f.India, f.Rest); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

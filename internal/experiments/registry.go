@@ -1,0 +1,38 @@
+package experiments
+
+// Registry enumerates every reproduced table and figure in the paper's
+// presentation order. The repro driver and the benchmark harness iterate it.
+func Registry() []Entry {
+	return []Entry{
+		{ID: "Fig. 1", Title: "Broadband connection characteristics (CDFs)", Run: RunFig01},
+		{ID: "Fig. 2", Title: "Demand vs. capacity by class", Run: RunFig02},
+		{ID: "Fig. 3", Title: "FCC vs. Dasu US demand", Run: RunFig03},
+		{ID: "Table 1", Title: "Within-user upgrade experiment", Run: RunTable01},
+		{ID: "Fig. 4", Title: "Slow/fast network usage CDFs", Run: RunFig04},
+		{ID: "Fig. 5", Title: "Upgrade demand change by initial tier", Run: RunFig05},
+		{ID: "Table 2", Title: "Matched-pair capacity experiment", Run: RunTable02},
+		{ID: "Fig. 6", Title: "Longitudinal demand by year", Run: RunFig06},
+		{ID: "Table 3", Title: "Price-of-access experiment", Run: RunTable03},
+		{ID: "Table 4", Title: "Case-study market summary", Run: RunTable04},
+		{ID: "Fig. 7", Title: "Case-study capacity/utilization CDFs", Run: RunFig07},
+		{ID: "Fig. 8", Title: "Utilization by tier and country", Run: RunFig08},
+		{ID: "Fig. 9", Title: "Peak demand by tier and country", Run: RunFig09},
+		{ID: "Fig. 10", Title: "Cost of increasing capacity (CDF)", Run: RunFig10},
+		{ID: "Table 5", Title: "Regional upgrade-cost shares", Run: RunTable05},
+		{ID: "Table 6", Title: "Upgrade-cost experiment", Run: RunTable06},
+		{ID: "Table 7", Title: "Latency experiment", Run: RunTable07},
+		{ID: "Fig. 11", Title: "India latency comparison", Run: RunFig11},
+		{ID: "Table 8", Title: "Packet-loss experiment", Run: RunTable08},
+		{ID: "Fig. 12", Title: "India loss comparison", Run: RunFig12},
+	}
+}
+
+// Find returns the registry entry with the given ID.
+func Find(id string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func syntheticSeries(f func(x float64) float64) Series {
+	s := Series{Label: "synthetic"}
+	for x := 0.25; x <= 64; x *= 2 {
+		s.Points = append(s.Points, SeriesPoint{X: x, Y: f(x), N: 100})
+	}
+	return s
+}
+
+func TestDiminishingReturnsHelper(t *testing.T) {
+	// A saturating curve has a steeper low half than high half.
+	sat := syntheticSeries(func(x float64) float64 { return x / (1 + x/8) })
+	lo, hi, ok := DiminishingReturns(sat)
+	if !ok {
+		t.Fatal("slopes unavailable")
+	}
+	if lo <= hi {
+		t.Errorf("saturating curve: low %.3f ≤ high %.3f", lo, hi)
+	}
+	// A pure power law has equal halves.
+	pow := syntheticSeries(func(x float64) float64 { return math.Pow(x, 0.7) })
+	lo, hi, ok = DiminishingReturns(pow)
+	if !ok {
+		t.Fatal("slopes unavailable")
+	}
+	if math.Abs(lo-hi) > 0.02 {
+		t.Errorf("power law halves should match: %.3f vs %.3f", lo, hi)
+	}
+	// Degenerate inputs.
+	if _, _, ok := DiminishingReturns(Series{}); ok {
+		t.Error("empty series should not produce slopes")
+	}
+}
+
+func TestTailFlatteningHelper(t *testing.T) {
+	sat := syntheticSeries(func(x float64) float64 { return x / (1 + x/4) })
+	tail, mid, ok := tailFlattening(sat)
+	if !ok {
+		t.Fatal("series too short")
+	}
+	if tail >= mid {
+		t.Errorf("saturating curve must flatten at the tail: %.3f vs %.3f", tail, mid)
+	}
+	// Exponential blow-up (super-linear in log space) must NOT flatten.
+	exp := syntheticSeries(func(x float64) float64 { return math.Exp(x / 16) })
+	tail, mid, ok = tailFlattening(exp)
+	if !ok {
+		t.Fatal("series too short")
+	}
+	if tail <= mid {
+		t.Errorf("accelerating curve misclassified as flattening: %.3f vs %.3f", tail, mid)
+	}
+	// Low-N points are excluded, possibly leaving too few.
+	thin := syntheticSeries(func(x float64) float64 { return x })
+	for i := range thin.Points {
+		thin.Points[i].N = 5
+	}
+	if _, _, ok := tailFlattening(thin); ok {
+		t.Error("all-thin series should be rejected")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/stats"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// CaseStudyCountries are the four markets of the paper's Sec. 5 case study.
+var CaseStudyCountries = []string{"BW", "SA", "US", "JP"}
+
+// Table04 reproduces Table 4: the "typical price of broadband" case study.
+// For each market: the user count, the median measured capacity, the
+// nearest marketed tier and its USD PPP price, GDP per capita, and that
+// price as a share of monthly GDP per capita. Paper anchors: BW 0.517 Mbps
+// at $100 (8.0%), SA 4.21 Mbps at $79 (3.3%), US 17.6 Mbps at $53 (1.3%),
+// JP 29.0 Mbps at $37 (1.3%).
+type Table04 struct {
+	Rows []Table04Row
+}
+
+// Table04Row is one country of the case study.
+type Table04Row struct {
+	Country        market.Country
+	Users          int
+	MedianCapacity unit.Bitrate
+	NearestTier    unit.Bitrate
+	TierPrice      unit.USD
+	IncomeShare    float64
+}
+
+// ID implements Report.
+func (t *Table04) ID() string { return "Table 4" }
+
+// Title implements Report.
+func (t *Table04) Title() string { return "Typical price of broadband in the case-study markets" }
+
+// Render implements Report.
+func (t *Table04) Render() string {
+	var b strings.Builder
+	b.WriteString(header(t.ID(), t.Title()))
+	fmt.Fprintf(&b, "  %-14s %6s %12s %12s %10s %12s %10s\n",
+		"Country", "users", "med. cap", "tier", "price", "GDP pc", "% inc.")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-14s %6d %12s %12s %10s %12.0f %9.1f%%\n",
+			r.Country.Name, r.Users, r.MedianCapacity, r.NearestTier, r.TierPrice,
+			r.Country.GDPPerCapitaPPP, 100*r.IncomeShare)
+	}
+	return b.String()
+}
+
+// RunTable04 computes the case-study table.
+func RunTable04(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	t := &Table04{}
+	for _, cc := range CaseStudyCountries {
+		ms, ok := d.Markets[cc]
+		if !ok {
+			return nil, fmt.Errorf("table04: no market summary for %s", cc)
+		}
+		users := dataset.Select(d.Users, dataset.ByCountry(cc), dataset.ByVantage(dataset.VantageDasu))
+		if len(users) < 5 {
+			return nil, fmt.Errorf("table04: only %d users in %s", len(users), cc)
+		}
+		med, err := stats.Median(dataset.Capacities(users))
+		if err != nil {
+			return nil, err
+		}
+		// Find the nearest marketed tier from the survey plans.
+		cat := market.Catalog{Country: ms.Country}
+		for _, p := range d.Plans {
+			if p.Country == cc {
+				cat.Plans = append(cat.Plans, p)
+			}
+		}
+		tier, ok := cat.NearestTier(unit.Bitrate(med))
+		if !ok {
+			return nil, fmt.Errorf("table04: no tier found for %s", cc)
+		}
+		t.Rows = append(t.Rows, Table04Row{
+			Country:        ms.Country,
+			Users:          len(users),
+			MedianCapacity: unit.Bitrate(med),
+			NearestTier:    tier.Down,
+			TierPrice:      tier.PriceUSD,
+			IncomeShare:    market.IncomeShare(tier.PriceUSD, ms.Country),
+		})
+	}
+	return t, nil
+}

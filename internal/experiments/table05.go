@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// Table05 reproduces Table 5: the share of countries per region where
+// increasing capacity by 1 Mbps costs more than $1, $5 and $10 per month
+// (USD PPP). Paper landmarks: Africa 100/84/74%; developed Asia 0/0/0;
+// Europe 10/0/0; North America 0/0/0; Middle East 86/57/43%.
+type Table05 struct {
+	Rows []Table05Row
+}
+
+// Table05Row is one region's shares.
+type Table05Row struct {
+	Region    market.Region
+	Countries int
+	Over1     float64
+	Over5     float64
+	Over10    float64
+}
+
+// ID implements Report.
+func (t *Table05) ID() string { return "Table 5" }
+
+// Title implements Report.
+func (t *Table05) Title() string {
+	return "Share of countries per region with upgrade cost above $1/$5/$10 per Mbps"
+}
+
+// Render implements Report.
+func (t *Table05) Render() string {
+	var b strings.Builder
+	b.WriteString(header(t.ID(), t.Title()))
+	fmt.Fprintf(&b, "  %-28s %4s %6s %6s %6s\n", "Region", "n", ">$1", ">$5", ">$10")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-28s %4d %5.0f%% %5.0f%% %5.0f%%\n",
+			r.Region, r.Countries, 100*r.Over1, 100*r.Over5, 100*r.Over10)
+	}
+	return b.String()
+}
+
+// Row returns the row for a region, if present.
+func (t *Table05) Row(r market.Region) (Table05Row, bool) {
+	for _, row := range t.Rows {
+		if row.Region == r {
+			return row, true
+		}
+	}
+	return Table05Row{}, false
+}
+
+// RunTable05 aggregates upgrade costs by region.
+func RunTable05(d *dataset.Dataset, _ *randx.Source) (Report, error) {
+	byRegion := marketsOf(d)
+	if len(byRegion) == 0 {
+		return nil, fmt.Errorf("table05: no markets")
+	}
+	t := &Table05{}
+	for _, region := range market.Regions() {
+		markets := byRegion[region]
+		if len(markets) == 0 {
+			continue
+		}
+		row := Table05Row{Region: region}
+		for _, ms := range markets {
+			if !ms.Upgrade.Reliable() {
+				continue
+			}
+			row.Countries++
+			s := float64(ms.Upgrade.Slope)
+			if s > 1 {
+				row.Over1++
+			}
+			if s > 5 {
+				row.Over5++
+			}
+			if s > 10 {
+				row.Over10++
+			}
+		}
+		if row.Countries == 0 {
+			continue
+		}
+		n := float64(row.Countries)
+		row.Over1 /= n
+		row.Over5 /= n
+		row.Over10 /= n
+		t.Rows = append(t.Rows, row)
+	}
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("table05: no reliable markets in any region")
+	}
+	return t, nil
+}

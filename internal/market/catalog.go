@@ -1,0 +1,148 @@
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// BuildCatalog generates the retail plan catalog of one market from its
+// profile. Each ISP markets a ladder of tiers doubling from MinTierMbps to
+// MaxTierMbps, priced along the market's access-price/upgrade-slope line
+// with ISP-level and plan-level noise; developing markets attach traffic
+// caps to a share of plans; weak-correlation markets add dedicated-line
+// outliers. Generation is deterministic in rng.
+func BuildCatalog(p Profile, rng *randx.Source) Catalog {
+	cat := Catalog{Country: p.Country}
+	if p.MinTierMbps <= 0 {
+		p.MinTierMbps = 1
+	}
+	if p.MaxTierMbps < p.MinTierMbps {
+		p.MaxTierMbps = p.MinTierMbps
+	}
+	isps := p.ISPCount
+	if isps <= 0 {
+		isps = 2
+	}
+	for i := 0; i < isps; i++ {
+		ispName := fmt.Sprintf("%s-ISP%d", p.Country.Code, i+1)
+		ispRng := rng.SplitN("isp", i)
+		// Each ISP sits at a stable price level around the market line.
+		level := 1 + p.PriceNoise*ispRng.TruncNormal(0, 1, -2, 2)
+		// ISPs cover overlapping but not identical tier ranges.
+		lo := p.MinTierMbps
+		hi := p.MaxTierMbps
+		if i%2 == 1 && hi > 4*lo {
+			hi /= 2 // half the ISPs skip the flagship tier
+		}
+		for tier := lo; tier <= hi*1.0001; tier *= 2 {
+			price := tierPriceUSD(p, tier) * level * (1 + 0.03*ispRng.TruncNormal(0, 1, -2, 2))
+			if price < 1 {
+				price = 1
+			}
+			plan := Plan{
+				Country:    p.Country.Code,
+				ISP:        ispName,
+				Down:       unit.MbpsOf(tier),
+				Up:         unit.MbpsOf(upRate(tier)),
+				PriceUSD:   unit.USD(price),
+				PriceLocal: price * p.Country.PPPFactor,
+				Tech:       techFor(tier, ispRng),
+			}
+			if p.CappedShare > 0 && ispRng.Bool(p.CappedShare) {
+				plan.Cap = capFor(tier, ispRng)
+			}
+			cat.Plans = append(cat.Plans, plan)
+		}
+	}
+	if p.DedicatedPlans {
+		// A couple of dedicated lines priced far above the shared ladder —
+		// the Afghanistan pattern that kills the price–capacity correlation.
+		for i := 0; i < 2; i++ {
+			tier := p.MinTierMbps * float64(1+i)
+			price := tierPriceUSD(p, p.MaxTierMbps) * (3 + 2*rng.Float64())
+			cat.Plans = append(cat.Plans, Plan{
+				Country:    p.Country.Code,
+				ISP:        fmt.Sprintf("%s-DedicatedNet", p.Country.Code),
+				Down:       unit.MbpsOf(tier),
+				Up:         unit.MbpsOf(tier),
+				PriceUSD:   unit.USD(price),
+				PriceLocal: price * p.Country.PPPFactor,
+				Tech:       DSL,
+				Dedicated:  true,
+			})
+		}
+	}
+	cat.SortByPrice()
+	return cat
+}
+
+// tierPriceUSD evaluates the market price line at a capacity (Mbps):
+// the access price anchors 1 Mbps, the upgrade slope extends it upward, and
+// sub-1 Mbps tiers discount from the access price (Botswana's 0.5 Mbps plan
+// at ≈⅔ of its 1 Mbps price).
+func tierPriceUSD(p Profile, tierMbps float64) float64 {
+	if tierMbps >= 1 {
+		return p.AccessPriceUSD + p.UpgradeCostPerMbps*(tierMbps-1)
+	}
+	return p.AccessPriceUSD * (0.55 + 0.45*tierMbps)
+}
+
+// upRate models typical upload asymmetry: ~1:4 for slow DSL-era tiers,
+// narrowing toward 1:2 on fast (fiber-heavy) tiers.
+func upRate(downMbps float64) float64 {
+	switch {
+	case downMbps >= 100:
+		return downMbps / 2
+	case downMbps >= 20:
+		return downMbps / 4
+	default:
+		return math.Max(downMbps/4, 0.064)
+	}
+}
+
+// techFor assigns an access technology consistent with the tier.
+func techFor(tierMbps float64, rng *randx.Source) Technology {
+	switch {
+	case tierMbps < 1:
+		if rng.Bool(0.3) {
+			return FixedWireless
+		}
+		return DSL
+	case tierMbps < 20:
+		if rng.Bool(0.55) {
+			return DSL
+		}
+		return Cable
+	case tierMbps < 60:
+		if rng.Bool(0.6) {
+			return Cable
+		}
+		return Fiber
+	default:
+		return Fiber
+	}
+}
+
+// capFor draws a plausible monthly traffic cap scaled by the tier. Caps of
+// the era were generous relative to slow lines (a sub-Mbps line cannot
+// physically move much) and tighten, relatively, on faster tiers.
+func capFor(tierMbps float64, rng *randx.Source) unit.ByteSize {
+	baseGB := 20 + tierMbps*12*(0.5+rng.Float64())
+	if baseGB > 600 {
+		baseGB = 600
+	}
+	return unit.ByteSize(baseGB) * unit.GB
+}
+
+// BuildAllCatalogs generates the catalog of every profile, keyed by country
+// code, from a single seed stream.
+func BuildAllCatalogs(profiles []Profile, rng *randx.Source) map[string]Catalog {
+	out := make(map[string]Catalog, len(profiles))
+	for _, p := range profiles {
+		out[p.Country.Code] = BuildCatalog(p, rng.Split("catalog-"+p.Country.Code))
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Package market models national retail broadband markets: countries and
+// their economies, ISP plan catalogs, purchasing-power-parity normalization,
+// the paper's two market price metrics (the price of broadband access and
+// the cost of increasing capacity), and the subscriber plan-choice model
+// that gives the study its title — what a household needs, what it wants,
+// and what it can afford.
+//
+// The original study consumed Google's "Policy by the Numbers" retail-plan
+// survey (1,523 plans, 99 countries), which is no longer retrievable. This
+// package instead generates plan catalogs from a parameterized profile per
+// country (internal/market/worlddata.go) whose parameters are set to the
+// cross-country structure the paper reports: which markets are expensive,
+// where upgrades are cheap, which regions pay more than $10 per additional
+// Mbps. Analyses then run against the generated catalog exactly as they
+// would against the survey.
+package market
+
+import "fmt"
+
+// Region is the geographic/economic grouping used by the paper's Table 5.
+// Asia is split into developed and developing subgroups, following the IMF
+// classification the paper cites.
+type Region int
+
+// The paper's regions (plus Oceania, which hosts survey countries such as
+// New Zealand but is not a row in Table 5).
+const (
+	Africa Region = iota
+	AsiaDeveloped
+	AsiaDeveloping
+	CentralAmericaCaribbean
+	Europe
+	MiddleEast
+	NorthAmerica
+	SouthAmerica
+	Oceania
+	numRegions
+)
+
+// Regions lists all regions in the order Table 5 presents them (with
+// Oceania appended).
+func Regions() []Region {
+	return []Region{
+		Africa, AsiaDeveloped, AsiaDeveloping, CentralAmericaCaribbean,
+		Europe, MiddleEast, NorthAmerica, SouthAmerica, Oceania,
+	}
+}
+
+// String renders the region as the paper labels it.
+func (r Region) String() string {
+	switch r {
+	case Africa:
+		return "Africa"
+	case AsiaDeveloped:
+		return "Asia (developed)"
+	case AsiaDeveloping:
+		return "Asia (developing)"
+	case CentralAmericaCaribbean:
+		return "Central America/Caribbean"
+	case Europe:
+		return "Europe"
+	case MiddleEast:
+		return "Middle East"
+	case NorthAmerica:
+		return "North America"
+	case SouthAmerica:
+		return "South America"
+	case Oceania:
+		return "Oceania"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Country identifies one national market and the economic context used to
+// normalize its prices.
+type Country struct {
+	Code   string // ISO 3166-1 alpha-2
+	Name   string
+	Region Region
+	// GDPPerCapitaPPP is annual GDP per capita in USD at purchasing power
+	// parity (IMF-style), used by the paper's affordability case study.
+	GDPPerCapitaPPP float64
+	// PPPFactor converts local currency to PPP dollars (local units per
+	// USD PPP); plan prices are stored in local currency and normalized
+	// through this factor, mirroring the survey's methodology.
+	PPPFactor float64
+	// CurrencyCode is the local currency (for rendering).
+	CurrencyCode string
+}
+
+// MonthlyGDPPerCapita returns one month of per-capita GDP in USD PPP, the
+// denominator of the paper's "cost of Internet access as percentage of
+// monthly GDP per capita" column (Table 4).
+func (c Country) MonthlyGDPPerCapita() float64 { return c.GDPPerCapitaPPP / 12 }

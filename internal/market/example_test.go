@@ -1,0 +1,59 @@
+package market_test
+
+import (
+	"fmt"
+
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// Generate one market's retail catalog and compute the paper's two price
+// metrics: the price of broadband access (cheapest ≥1 Mbps plan) and the
+// cost of increasing capacity (OLS slope of price on capacity).
+func ExampleBuildCatalog() {
+	prof, _ := market.FindProfile("JP")
+	cat := market.BuildCatalog(prof, randx.New(1))
+	sum, err := market.Summarize(cat)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: access %v (%v), upgrade %v, reliable=%v\n",
+		sum.Country.Code, sum.AccessPrice, sum.AccessGroup, sum.Upgrade.Slope, sum.Upgrade.Reliable())
+	// Output:
+	// JP: access $18.29 (($0, $25]), upgrade $0.08/Mbps, reliable=true
+}
+
+// The need/want/can-afford choice model: identical subscribers buy very
+// different capacities under different price lines.
+func ExampleChoose() {
+	sub := market.Subscriber{
+		NeedMbps: 3,
+		WTP:      unit.USD(4.1 * 2 * 3), // saturation value scales with need
+		Budget:   160,
+		Headroom: 2,
+	}
+	for _, cc := range []string{"JP", "BW"} {
+		prof, _ := market.FindProfile(cc)
+		cat := market.BuildCatalog(prof, randx.New(1))
+		plan, ok := market.Choose(cat, sub, market.ChoiceConfig{}, nil)
+		if !ok {
+			fmt.Printf("%s: cannot afford broadband\n", cc)
+			continue
+		}
+		fmt.Printf("%s: buys %v for %v\n", cc, plan.Down, plan.PriceUSD)
+	}
+	// Output:
+	// JP: buys 32.00 Mbps for $20.39
+	// BW: buys 500.0 kbps for $136.12
+}
+
+// Affordability as the paper's Table 4 computes it: price as a share of
+// monthly GDP per capita.
+func ExampleIncomeShare() {
+	bw, _ := market.FindProfile("BW")
+	share := market.IncomeShare(unit.USD(100), bw.Country)
+	fmt.Printf("$100/month in Botswana = %.1f%% of monthly income\n", 100*share)
+	// Output:
+	// $100/month in Botswana = 8.0% of monthly income
+}

@@ -1,0 +1,36 @@
+package market
+
+import (
+	"fmt"
+
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// ToUSDPPP converts a local-currency amount to USD at purchasing power
+// parity, given the country's local-units-per-USD-PPP factor (the
+// IMF-style conversion the survey and the paper use throughout).
+func ToUSDPPP(local float64, pppFactor float64) (unit.USD, error) {
+	if pppFactor <= 0 {
+		return 0, fmt.Errorf("market: PPP factor must be positive, got %v", pppFactor)
+	}
+	return unit.USD(local / pppFactor), nil
+}
+
+// ToLocal converts a USD PPP amount back to local currency.
+func ToLocal(usd unit.USD, pppFactor float64) (float64, error) {
+	if pppFactor <= 0 {
+		return 0, fmt.Errorf("market: PPP factor must be positive, got %v", pppFactor)
+	}
+	return usd.Dollars() * pppFactor, nil
+}
+
+// IncomeShare returns a monthly price as a fraction of one month of GDP per
+// capita — the paper's Table 4 affordability column ("Cost of Internet
+// access as percentage of monthly GDP per capita").
+func IncomeShare(price unit.USD, c Country) float64 {
+	monthly := c.MonthlyGDPPerCapita()
+	if monthly <= 0 {
+		return 0
+	}
+	return price.Dollars() / monthly
+}

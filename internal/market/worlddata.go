@@ -1,0 +1,323 @@
+package market
+
+// Profile bundles everything the synthetic world needs to know about one
+// national broadband market: the economy, the retail-plan structure, the
+// connection-quality environment, and the behavioral parameters of its
+// subscriber population.
+//
+// Parameter provenance: the paper's own reported anchors wherever it gives
+// one (Botswana/Saudi Arabia/US/Japan in Table 4 and Sec. 5; India in
+// Sec. 7; the Fig. 10 upgrade-cost placements of Japan/South Korea,
+// US/Canada and Ghana/Uganda; the Table 5 regional shares; the Sec. 5
+// access-price groupings of Germany/Japan/US, Mexico/New Zealand/
+// Philippines, and Botswana/Saudi Arabia/Iran). All other countries carry
+// plausible values interpolated from their region and development level —
+// they exist to give the matching estimators a population with the same
+// breadth the survey had, not to be country-accurate.
+type Profile struct {
+	Country Country
+
+	// Retail market structure.
+	AccessPriceUSD     float64 // monthly USD PPP price of the cheapest ≥1 Mbps plan
+	UpgradeCostPerMbps float64 // regression slope, USD PPP per Mbps per month
+	MinTierMbps        float64 // slowest marketed tier
+	MaxTierMbps        float64 // fastest marketed tier
+	ISPCount           int     // providers whose ladders populate the catalog
+	PriceNoise         float64 // relative price dispersion across ISPs/plans
+	CappedShare        float64 // fraction of plans carrying a monthly traffic cap
+	DedicatedPlans     bool    // market sells dedicated-line outliers (weak r markets)
+
+	// Connection-quality environment (to the nearest measurement server).
+	BaseRTTms      float64 // median RTT in milliseconds
+	RTTSigma       float64 // lognormal sigma of RTT across users
+	LossMedianPct  float64 // median packet-loss percentage
+	LossSigma      float64 // lognormal sigma of loss across users
+	SatelliteShare float64 // fraction of users on satellite/fixed-wireless lines
+	WebExtraRTTms  float64 // extra RTT to popular web sites beyond the NDT server
+
+	// Population and behavior.
+	UserWeight     float64 // relative share of dataset users in this country
+	NeedMedianMbps float64 // median latent demand scale of subscribers
+	NeedSigma      float64 // lognormal sigma of the need distribution
+	BTShare        float64 // fraction of (Dasu) users active on BitTorrent
+}
+
+// World returns the built-in market profiles, one per country. The slice is
+// freshly allocated on each call; callers may mutate their copy (the
+// ablation benches do).
+func World() []Profile {
+	w := make([]Profile, len(world))
+	copy(w, world)
+	return w
+}
+
+// FindProfile returns the built-in profile for an ISO country code.
+func FindProfile(code string) (Profile, bool) {
+	for _, p := range world {
+		if p.Country.Code == code {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// dev fills the parameters shared by most developed-market profiles.
+func dev(c Country, access, slope, maxTier float64, weight float64) Profile {
+	return Profile{
+		Country:        c,
+		AccessPriceUSD: access, UpgradeCostPerMbps: slope,
+		MinTierMbps: 1, MaxTierMbps: maxTier, ISPCount: 4, PriceNoise: 0.08,
+		BaseRTTms: 35, RTTSigma: 0.45, LossMedianPct: 0.05, LossSigma: 1.0,
+		SatelliteShare: 0.01, WebExtraRTTms: 5,
+		UserWeight: weight, NeedMedianMbps: 3.2, NeedSigma: 0.85, BTShare: 0.45,
+	}
+}
+
+// emerging fills the parameters shared by most developing-market profiles.
+func emerging(c Country, access, slope, minTier, maxTier float64, weight float64) Profile {
+	return Profile{
+		Country:        c,
+		AccessPriceUSD: access, UpgradeCostPerMbps: slope,
+		MinTierMbps: minTier, MaxTierMbps: maxTier, ISPCount: 3, PriceNoise: 0.12,
+		CappedShare: 0.3,
+		BaseRTTms:   110, RTTSigma: 0.5, LossMedianPct: 0.35, LossSigma: 1.1,
+		SatelliteShare: 0.06, WebExtraRTTms: 20,
+		UserWeight: weight, NeedMedianMbps: 1.8, NeedSigma: 0.8, BTShare: 0.55,
+	}
+}
+
+// frontier fills the parameters shared by the least-developed, most
+// expensive markets.
+func frontier(c Country, access, slope, minTier, maxTier float64, weight float64) Profile {
+	return Profile{
+		Country:        c,
+		AccessPriceUSD: access, UpgradeCostPerMbps: slope,
+		MinTierMbps: minTier, MaxTierMbps: maxTier, ISPCount: 2, PriceNoise: 0.15,
+		CappedShare: 0.5,
+		BaseRTTms:   170, RTTSigma: 0.5, LossMedianPct: 0.8, LossSigma: 1.1,
+		SatelliteShare: 0.18, WebExtraRTTms: 35,
+		UserWeight: weight, NeedMedianMbps: 1.3, NeedSigma: 0.75, BTShare: 0.5,
+	}
+}
+
+func country(code, name string, r Region, gdp, ppp float64, cur string) Country {
+	return Country{Code: code, Name: name, Region: r, GDPPerCapitaPPP: gdp, PPPFactor: ppp, CurrencyCode: cur}
+}
+
+var world = buildWorld()
+
+func buildWorld() []Profile {
+	var w []Profile
+	add := func(p Profile) { w = append(w, p) }
+	mut := func(p Profile, f func(*Profile)) Profile { f(&p); return p }
+
+	// ---------------------------------------------------------------- Africa
+	// Table 4 anchors Botswana: median user on ≈0.512 Mbps paying ≈$100
+	// (8.0% of monthly GDP pc of $14,993/12); 1 Mbps ≈ $150, 2 Mbps ≈ $200.
+	add(mut(frontier(country("BW", "Botswana", Africa, 14993, 7.6, "BWP"), 150, 50, 0.5, 2, 67), func(p *Profile) {
+		p.BaseRTTms, p.LossMedianPct = 190, 0.5
+		p.NeedMedianMbps = 3.0 // demand pent up well above the affordable tiers
+	}))
+	// Ghana and Uganda are the paper's Fig. 10 examples of the expensive
+	// upper end of the upgrade-cost distribution.
+	add(frontier(country("GH", "Ghana", Africa, 3900, 1.9, "GHS"), 75, 40, 0.25, 4, 40))
+	add(frontier(country("UG", "Uganda", Africa, 1400, 1200, "UGX"), 90, 35, 0.25, 4, 35))
+	add(frontier(country("CI", "Ivory Coast", Africa, 2900, 260, "XOF"), 110, 120, 0.25, 2, 25))
+	add(frontier(country("TZ", "Tanzania", Africa, 2400, 760, "TZS"), 85, 25, 0.25, 4, 25))
+	add(mut(frontier(country("NG", "Nigeria", Africa, 5400, 95, "NGN"), 65, 15, 0.25, 8, 60), func(p *Profile) {
+		p.ISPCount = 3
+	}))
+	add(mut(emerging(country("KE", "Kenya", Africa, 2800, 45, "KES"), 58, 12, 0.5, 10, 45), func(p *Profile) {
+		p.BaseRTTms, p.LossMedianPct, p.SatelliteShare = 140, 0.6, 0.12
+	}))
+	add(mut(emerging(country("EG", "Egypt", Africa, 10500, 2.3, "EGP"), 33, 6, 0.5, 16, 55), func(p *Profile) {
+		p.BaseRTTms = 120
+	}))
+	add(emerging(country("MA", "Morocco", Africa, 7000, 4.6, "MAD"), 34, 8, 0.5, 16, 40))
+	add(mut(emerging(country("ZA", "South Africa", Africa, 12500, 5.1, "ZAR"), 45, 3.5, 0.5, 40, 80), func(p *Profile) {
+		p.BaseRTTms, p.NeedMedianMbps = 130, 2.2
+	}))
+	add(frontier(country("SN", "Senegal", Africa, 2300, 260, "XOF"), 70, 22, 0.25, 4, 18))
+	add(frontier(country("ZM", "Zambia", Africa, 3900, 6.1, "ZMW"), 80, 45, 0.25, 2, 15))
+	add(frontier(country("ET", "Ethiopia", Africa, 1400, 9.8, "ETB"), 95, 60, 0.25, 2, 15))
+	add(mut(emerging(country("TN", "Tunisia", Africa, 10900, 0.71, "TND"), 32, 7, 0.5, 16, 25), func(p *Profile) {
+		p.BaseRTTms = 115
+	}))
+
+	// ----------------------------------------------------------- Middle East
+	// Table 4 anchors Saudi Arabia: users clustered near 4 Mbps, that tier
+	// at ≈$79 (3.3% of monthly GDP pc of $29,114/12); 1 Mbps ≈ $60 ("three
+	// times higher than a similar service in the US").
+	add(mut(emerging(country("SA", "Saudi Arabia", MiddleEast, 29114, 1.9, "SAR"), 68, 6, 1, 20, 120), func(p *Profile) {
+		p.BaseRTTms, p.LossMedianPct = 90, 0.25
+		p.NeedMedianMbps, p.NeedSigma = 3.4, 0.7 // clusters demand near the 4 Mbps tier
+		p.CappedShare = 0.2
+	}))
+	// Iran: Sec. 5's example of a 1 Mbps plan costing ≈$150 PPP.
+	add(mut(frontier(country("IR", "Iran", MiddleEast, 15600, 9800, "IRR"), 150, 30, 0.25, 8, 45), func(p *Profile) {
+		p.BaseRTTms, p.SatelliteShare = 150, 0.08
+	}))
+	add(mut(dev(country("AE", "UAE", MiddleEast, 58000, 2.5, "AED"), 38, 0.8, 100, 35), func(p *Profile) {
+		p.BaseRTTms = 75
+	}))
+	add(mut(dev(country("IL", "Israel", MiddleEast, 32000, 3.9, "ILS"), 26, 1.5, 100, 45), func(p *Profile) {
+		p.BaseRTTms = 70
+	}))
+	add(emerging(country("TR", "Turkey", MiddleEast, 18000, 1.1, "TRY"), 33, 2, 1, 50, 70))
+	add(emerging(country("JO", "Jordan", MiddleEast, 11500, 0.45, "JOD"), 48, 12, 0.5, 16, 30))
+	add(mut(emerging(country("QA", "Qatar", MiddleEast, 98000, 2.9, "QAR"), 35, 3, 1, 100, 20), func(p *Profile) {
+		p.BaseRTTms, p.LossMedianPct = 85, 0.15
+	}))
+	add(frontier(country("YE", "Yemen", MiddleEast, 3900, 95, "YER"), 95, 20, 0.25, 2, 15))
+	add(emerging(country("LB", "Lebanon", MiddleEast, 17500, 1450, "LBP"), 45, 9, 0.5, 8, 20))
+	add(mut(emerging(country("KW", "Kuwait", MiddleEast, 71000, 0.22, "KWD"), 38, 2.5, 1, 100, 20), func(p *Profile) {
+		p.BaseRTTms = 90
+	}))
+
+	// ------------------------------------------------------- Asia (developed)
+	// Table 4 anchors Japan: median ≈26-29 Mbps at ≈$37 (1.3% of monthly
+	// GDP pc of $34,532/12); 100 Mbps ≈ $40; upgrade cost < $0.10/Mbps.
+	add(mut(dev(country("JP", "Japan", AsiaDeveloped, 34532, 103, "JPY"), 21, 0.08, 200, 73), func(p *Profile) {
+		p.BaseRTTms, p.LossMedianPct = 28, 0.03
+		p.NeedMedianMbps = 3.4
+		p.MinTierMbps = 1
+	}))
+	add(mut(dev(country("KR", "South Korea", AsiaDeveloped, 32400, 860, "KRW"), 15, 0.06, 200, 60), func(p *Profile) {
+		p.BaseRTTms, p.LossMedianPct = 25, 0.03
+	}))
+	add(mut(dev(country("HK", "Hong Kong", AsiaDeveloped, 51000, 5.6, "HKD"), 16, 0.09, 500, 45), func(p *Profile) {
+		p.BaseRTTms = 27
+	}))
+	add(dev(country("SG", "Singapore", AsiaDeveloped, 78000, 1.1, "SGD"), 22, 0.3, 300, 40))
+	add(dev(country("TW", "Taiwan", AsiaDeveloped, 41000, 15.1, "TWD"), 20, 0.4, 100, 50))
+
+	// ------------------------------------------------------ Asia (developing)
+	// Sec. 7 anchors India: access ≈$67 vs the US's ≈$20, upgrade cost
+	// within 25% of the US's, and latency/loss far above the rest of the
+	// population (nearly every user above 100 ms).
+	add(mut(emerging(country("IN", "India", AsiaDeveloping, 5200, 17.5, "INR"), 67, 0.55, 0.25, 16, 500), func(p *Profile) {
+		p.BaseRTTms, p.RTTSigma = 200, 0.45
+		p.LossMedianPct, p.LossSigma = 1.1, 0.9
+		p.WebExtraRTTms = 15
+		p.SatelliteShare = 0.05
+		p.NeedMedianMbps = 1.9
+	}))
+	add(mut(emerging(country("CN", "China", AsiaDeveloping, 11900, 3.5, "CNY"), 34, 0.8, 0.5, 50, 150), func(p *Profile) {
+		p.BaseRTTms = 130
+	}))
+	add(emerging(country("PH", "Philippines", AsiaDeveloping, 6400, 19.5, "PHP"), 45, 11, 0.5, 16, 90))
+	add(emerging(country("ID", "Indonesia", AsiaDeveloping, 9600, 3900, "IDR"), 38, 10.5, 0.5, 16, 80))
+	add(emerging(country("VN", "Vietnam", AsiaDeveloping, 5300, 7900, "VND"), 33, 2, 0.5, 30, 70))
+	add(emerging(country("TH", "Thailand", AsiaDeveloping, 14400, 12.3, "THB"), 33, 1.8, 1, 50, 65))
+	add(emerging(country("MY", "Malaysia", AsiaDeveloping, 23300, 1.5, "MYR"), 33, 1.2, 1, 50, 55))
+	add(emerging(country("PK", "Pakistan", AsiaDeveloping, 4500, 33, "PKR"), 40, 5.5, 0.25, 10, 45))
+	add(emerging(country("BD", "Bangladesh", AsiaDeveloping, 2900, 31, "BDT"), 45, 5.2, 0.25, 8, 35))
+	add(emerging(country("LK", "Sri Lanka", AsiaDeveloping, 9500, 51, "LKR"), 35, 2.5, 0.5, 16, 25))
+	add(frontier(country("NP", "Nepal", AsiaDeveloping, 2200, 34, "NPR"), 65, 12, 0.25, 4, 20))
+	add(frontier(country("MN", "Mongolia", AsiaDeveloping, 9400, 640, "MNT"), 55, 15, 0.25, 4, 15))
+	add(frontier(country("KH", "Cambodia", AsiaDeveloping, 3100, 1650, "KHR"), 48, 14, 0.25, 4, 15))
+	add(frontier(country("MM", "Myanmar", AsiaDeveloping, 1700, 420, "MMK"), 90, 55, 0.25, 2, 12))
+	add(frontier(country("LA", "Laos", AsiaDeveloping, 4400, 3400, "LAK"), 55, 18, 0.25, 4, 10))
+	// Afghanistan: the paper's example of a weak price–capacity correlation
+	// caused by dedicated (non-shared) DSL priced above faster alternatives.
+	add(mut(frontier(country("AF", "Afghanistan", AsiaDeveloping, 1900, 19, "AFN"), 130, 80, 0.25, 2, 12), func(p *Profile) {
+		p.DedicatedPlans = true
+		p.PriceNoise = 0.35
+	}))
+
+	// ----------------------------------------------------------------- Europe
+	// Germany is a Sec. 5 example of the <$25 access group.
+	add(dev(country("DE", "Germany", Europe, 43000, 0.79, "EUR"), 18, 0.4, 100, 350))
+	add(dev(country("GB", "United Kingdom", Europe, 37500, 0.69, "GBP"), 20, 0.5, 120, 320))
+	add(dev(country("FR", "France", Europe, 37200, 0.81, "EUR"), 17, 0.3, 100, 280))
+	add(dev(country("NL", "Netherlands", Europe, 46000, 0.8, "EUR"), 19, 0.35, 150, 120))
+	add(mut(dev(country("SE", "Sweden", Europe, 44000, 8.9, "SEK"), 16, 0.25, 250, 110), func(p *Profile) {
+		p.BaseRTTms = 30
+	}))
+	add(dev(country("ES", "Spain", Europe, 32000, 0.66, "EUR"), 24, 0.9, 100, 200))
+	add(dev(country("IT", "Italy", Europe, 34500, 0.74, "EUR"), 23, 0.95, 50, 180))
+	add(mut(dev(country("PL", "Poland", Europe, 23000, 1.8, "PLN"), 18, 0.7, 80, 150), func(p *Profile) {
+		p.BaseRTTms = 45
+	}))
+	add(mut(dev(country("RO", "Romania", Europe, 18600, 1.7, "RON"), 12, 0.15, 500, 90), func(p *Profile) {
+		p.BaseRTTms, p.NeedMedianMbps = 45, 2.8
+	}))
+	add(mut(dev(country("RU", "Russia", Europe, 24500, 17.4, "RUB"), 14, 0.5, 100, 220), func(p *Profile) {
+		p.BaseRTTms, p.LossMedianPct = 60, 0.1
+	}))
+	add(dev(country("PT", "Portugal", Europe, 27000, 0.61, "EUR"), 24, 0.9, 100, 90))
+	add(mut(dev(country("GR", "Greece", Europe, 25600, 0.62, "EUR"), 24, 2.1, 50, 80), func(p *Profile) {
+		p.BaseRTTms = 55
+	}))
+	add(dev(country("CH", "Switzerland", Europe, 55000, 1.24, "CHF"), 24, 0.45, 150, 60))
+	add(dev(country("AT", "Austria", Europe, 44000, 0.78, "EUR"), 21, 0.5, 100, 55))
+	add(dev(country("BE", "Belgium", Europe, 41000, 0.8, "EUR"), 22, 0.6, 100, 55))
+	add(mut(dev(country("DK", "Denmark", Europe, 43000, 7.4, "DKK"), 19, 0.3, 200, 50), func(p *Profile) {
+		p.BaseRTTms = 30
+	}))
+	add(mut(dev(country("FI", "Finland", Europe, 39000, 0.9, "EUR"), 18, 0.35, 150, 50), func(p *Profile) {
+		p.BaseRTTms = 32
+	}))
+	add(dev(country("NO", "Norway", Europe, 66000, 9.1, "NOK"), 23, 0.4, 150, 50))
+	add(mut(dev(country("CZ", "Czech Republic", Europe, 28000, 12.9, "CZK"), 16, 0.55, 100, 60), func(p *Profile) {
+		p.BaseRTTms = 42
+	}))
+	add(mut(dev(country("HU", "Hungary", Europe, 22500, 126, "HUF"), 17, 0.6, 100, 45), func(p *Profile) {
+		p.BaseRTTms = 45
+	}))
+
+	// ---------------------------------------------------------- North America
+	// Table 4 anchors the US: a diverse 1–105 Mbps market, median ≈17.6 Mbps
+	// at ≈$53 (1.3% of monthly GDP pc of $49,797/12); 1 Mbps ≈ $20;
+	// 100 Mbps ≈ $115; upgrade cost slightly above $0.50/Mbps (Fig. 10).
+	add(mut(dev(country("US", "United States", NorthAmerica, 49797, 1.0, "USD"), 20, 0.55, 105, 3759), func(p *Profile) {
+		p.NeedMedianMbps, p.NeedSigma = 3.5, 0.9
+		p.ISPCount = 5
+		p.BaseRTTms = 38
+	}))
+	add(dev(country("CA", "Canada", NorthAmerica, 42500, 1.24, "CAD"), 24, 0.65, 105, 280))
+
+	// ----------------------------------------- Central America and Caribbean
+	// Mexico is a Sec. 5 example of the $25–60 access group.
+	add(emerging(country("MX", "Mexico", CentralAmericaCaribbean, 16900, 8.0, "MXN"), 35, 5.5, 0.5, 20, 130))
+	add(emerging(country("GT", "Guatemala", CentralAmericaCaribbean, 7300, 3.9, "GTQ"), 50, 7, 0.5, 10, 25))
+	add(emerging(country("CR", "Costa Rica", CentralAmericaCaribbean, 13900, 340, "CRC"), 40, 6, 0.5, 16, 25))
+	add(emerging(country("PA", "Panama", CentralAmericaCaribbean, 19400, 0.58, "PAB"), 38, 4, 0.5, 20, 20))
+	add(emerging(country("DO", "Dominican Republic", CentralAmericaCaribbean, 12200, 21, "DOP"), 52, 8, 0.5, 10, 22))
+	add(mut(emerging(country("JM", "Jamaica", CentralAmericaCaribbean, 8900, 57, "JMD"), 55, 9, 0.5, 10, 18), func(p *Profile) {
+		p.SatelliteShare = 0.1
+	}))
+	add(frontier(country("HN", "Honduras", CentralAmericaCaribbean, 4600, 10.3, "HNL"), 62, 12, 0.25, 4, 15))
+	add(emerging(country("TT", "Trinidad and Tobago", CentralAmericaCaribbean, 30000, 4.1, "TTD"), 40, 5.5, 0.5, 20, 15))
+	add(frontier(country("NI", "Nicaragua", CentralAmericaCaribbean, 4500, 11.2, "NIO"), 58, 8, 0.25, 4, 12))
+
+	// ---------------------------------------------------------- South America
+	add(mut(emerging(country("BR", "Brazil", SouthAmerica, 15000, 1.6, "BRL"), 33, 2, 0.5, 35, 400), func(p *Profile) {
+		p.BaseRTTms, p.BTShare = 120, 0.65
+	}))
+	add(emerging(country("AR", "Argentina", SouthAmerica, 18700, 3.3, "ARS"), 35, 3, 0.5, 30, 180))
+	add(emerging(country("CL", "Chile", SouthAmerica, 21900, 380, "CLP"), 35, 0.95, 1, 40, 90))
+	add(emerging(country("CO", "Colombia", SouthAmerica, 12400, 1250, "COP"), 42, 4, 0.5, 20, 85))
+	add(emerging(country("PE", "Peru", SouthAmerica, 11400, 1.6, "PEN"), 45, 6, 0.5, 10, 50))
+	// Paraguay: the paper's example of upgrade cost "well above $100".
+	add(frontier(country("PY", "Paraguay", SouthAmerica, 7800, 2600, "PYG"), 120, 110, 0.25, 2, 15))
+	add(frontier(country("BO", "Bolivia", SouthAmerica, 6100, 3.4, "BOB"), 70, 18, 0.25, 4, 18))
+	add(emerging(country("EC", "Ecuador", SouthAmerica, 10800, 0.55, "ECS"), 55, 11, 0.5, 8, 25))
+	add(mut(emerging(country("UY", "Uruguay", SouthAmerica, 19600, 19.5, "UYU"), 33, 0.9, 1, 50, 25), func(p *Profile) {
+		p.BaseRTTms = 100
+	}))
+	add(emerging(country("VE", "Venezuela", SouthAmerica, 17700, 3.6, "VEF"), 44, 5.5, 0.5, 10, 40))
+
+	// ----------------------------------------------------------------- Oceania
+	// New Zealand is a Sec. 5 example of the $25–60 access group.
+	add(mut(dev(country("NZ", "New Zealand", Oceania, 32800, 1.48, "NZD"), 40, 1.5, 100, 60), func(p *Profile) {
+		p.BaseRTTms = 60
+		p.CappedShare = 0.5 // NZ plans of the era were famously capped
+	}))
+	add(mut(dev(country("AU", "Australia", Oceania, 43000, 1.52, "AUD"), 33, 1.2, 100, 140), func(p *Profile) {
+		p.BaseRTTms = 55
+		p.CappedShare = 0.4
+	}))
+
+	return w
+}

@@ -1,0 +1,8 @@
+package netsim
+
+import "math/rand/v2"
+
+// newRand returns a deterministic plain generator for property tests.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0x5eed))
+}

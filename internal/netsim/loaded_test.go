@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+func TestLoadedRTTBufferbloat(t *testing.T) {
+	// An over-buffered 8 Mbps line: 512 kB of buffer drains in 512 ms at
+	// line rate, so the loaded RTT must balloon far beyond the 40 ms
+	// propagation RTT.
+	bloated := AccessLine{
+		Down: LinkConfig{Rate: unit.MbpsOf(8), Delay: 0.02, Queue: 512 * unit.KB},
+		Up:   LinkConfig{Rate: unit.MbpsOf(1), Delay: 0.02},
+	}
+	res, err := MeasureLoadedRTT(bloated, 10, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdleRTT > 0.06 {
+		t.Errorf("idle RTT = %v, want ≈0.04", res.IdleRTT)
+	}
+	if res.Inflation < 4 {
+		t.Errorf("bufferbloat inflation = %.1f×, want severe (≥4×) on a 512 kB buffer", res.Inflation)
+	}
+	if res.Throughput.Mbps() < 6 {
+		t.Errorf("the load flow should still saturate: %v", res.Throughput)
+	}
+	if res.Probes < 20 {
+		t.Errorf("only %d probes completed", res.Probes)
+	}
+}
+
+func TestLoadedRTTWellSizedBuffer(t *testing.T) {
+	// A sanely sized (≈1 BDP) buffer keeps the inflation moderate.
+	sane := AccessLine{
+		Down: LinkConfig{Rate: unit.MbpsOf(8), Delay: 0.02, Queue: DefaultQueue(unit.MbpsOf(8))},
+		Up:   LinkConfig{Rate: unit.MbpsOf(1), Delay: 0.02},
+	}
+	res, err := MeasureLoadedRTT(sane, 10, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inflation > 4 {
+		t.Errorf("a 1-BDP buffer should not bloat 4×: %.1f×", res.Inflation)
+	}
+	if res.Inflation < 1.2 {
+		t.Errorf("a saturated queue must inflate latency at least somewhat: %.1f×", res.Inflation)
+	}
+
+	// Ordering: more buffer, more loaded latency.
+	bloated := sane
+	bloated.Down.Queue = 1 * unit.MB
+	worse, err := MeasureLoadedRTT(bloated, 10, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse.LoadedRTT <= res.LoadedRTT {
+		t.Errorf("bigger buffer should mean worse loaded RTT: %v vs %v", worse.LoadedRTT, res.LoadedRTT)
+	}
+}
+
+func TestLoadedRTTValidation(t *testing.T) {
+	if _, err := MeasureLoadedRTT(AccessLine{}, 5, randx.New(1)); err == nil {
+		t.Error("invalid line should error")
+	}
+}

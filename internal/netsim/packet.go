@@ -1,0 +1,42 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// Endpoint identifies one side of a flow. Following the gopacket idiom,
+// endpoints are small comparable values usable directly as map keys.
+type Endpoint struct {
+	Host string
+	Port uint16
+}
+
+// String renders the endpoint as host:port.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Host, e.Port) }
+
+// Flow is an ordered (source, destination) endpoint pair. Like gopacket's
+// Flow it is comparable, so per-flow state tables key on it directly.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+// Reverse returns the flow in the opposite direction (for ACK paths).
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// String renders the flow as "src->dst".
+func (f Flow) String() string { return f.Src.String() + "->" + f.Dst.String() }
+
+// Packet is the unit of transfer in the packet-level simulator. Sequence and
+// acknowledgment numbers are in bytes, mirroring TCP semantics closely
+// enough for congestion behavior to be faithful.
+type Packet struct {
+	Flow   Flow
+	Seq    int64         // first byte carried (data packets)
+	Size   unit.ByteSize // wire size including headers
+	IsAck  bool
+	AckSeq int64   // cumulative acknowledgment (next byte expected)
+	SentAt float64 // virtual send time, for RTT sampling
+	Probe  bool    // latency probe (ping) rather than load-bearing data
+}

@@ -1,0 +1,103 @@
+// Package netsim simulates residential broadband access networks at two
+// granularities:
+//
+//   - a packet-level discrete-event simulator (access link with a drop-tail
+//     queue, random and bursty loss, propagation delay) driving a simplified
+//     TCP Reno sender — used to produce NDT-style measurements of capacity,
+//     latency and packet loss exactly the way the paper's Dasu clients
+//     measured real lines; and
+//   - a flow-level fluid simulator (processor sharing with per-flow rate
+//     caps) — used for the multi-week usage horizons behind the byte-counter
+//     datasets, where packet-level simulation would be computationally
+//     absurd (23 months × 53k users).
+//
+// Both operate in virtual time; nothing in this package reads the wall
+// clock, so every simulation is deterministic given its random source.
+package netsim
+
+import "container/heap"
+
+// Simulator is a discrete-event scheduler with a virtual clock. The zero
+// value is ready to use; time starts at 0 and is measured in seconds.
+type Simulator struct {
+	now    float64
+	queue  eventHeap
+	nextID int64
+	halted bool
+}
+
+type event struct {
+	at  float64
+	id  int64 // tie-breaker preserving scheduling order at equal times
+	run func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// runs the event at the current time (FIFO among same-time events).
+func (s *Simulator) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.nextID++
+	s.queue.pushEvent(event{at: t, id: s.nextID, run: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes events until the queue drains or Halt is called. It returns
+// the final virtual time.
+func (s *Simulator) Run() float64 {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		e := s.queue.popEvent()
+		s.now = e.at
+		e.run()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to
+// exactly t. Events scheduled beyond t remain queued.
+func (s *Simulator) RunUntil(t float64) float64 {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted && s.queue.peek().at <= t {
+		e := s.queue.popEvent()
+		s.now = e.at
+		e.run()
+	}
+	if !s.halted && s.now < t {
+		s.now = t
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events (for tests and diagnostics).
+func (s *Simulator) Pending() int { return len(s.queue) }

@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	var sim Simulator
+	var order []int
+	sim.At(3, func() { order = append(order, 3) })
+	sim.At(1, func() { order = append(order, 1) })
+	sim.At(2, func() { order = append(order, 2) })
+	end := sim.Run()
+	if end != 3 {
+		t.Errorf("final time = %v, want 3", end)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSimulatorFIFOAtSameTime(t *testing.T) {
+	var sim Simulator
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.At(5, func() { order = append(order, i) })
+	}
+	sim.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimulatorAfterAndNow(t *testing.T) {
+	var sim Simulator
+	var sawAt float64
+	sim.After(2, func() {
+		sawAt = sim.Now()
+		sim.After(3, func() { sawAt = sim.Now() })
+	})
+	sim.Run()
+	if sawAt != 5 {
+		t.Errorf("nested After fired at %v, want 5", sawAt)
+	}
+}
+
+func TestSimulatorPastScheduling(t *testing.T) {
+	var sim Simulator
+	fired := -1.0
+	sim.At(10, func() {
+		sim.At(3, func() { fired = sim.Now() }) // in the past: runs "now"
+	})
+	sim.Run()
+	if fired != 10 {
+		t.Errorf("past event fired at %v, want 10", fired)
+	}
+	// Negative delay clamps to zero.
+	var sim2 Simulator
+	sim2.After(-5, func() { fired = sim2.Now() })
+	sim2.Run()
+	if fired != 0 {
+		t.Errorf("negative-delay event fired at %v, want 0", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var sim Simulator
+	count := 0
+	for i := 1; i <= 10; i++ {
+		sim.At(float64(i), func() { count++ })
+	}
+	sim.RunUntil(5.5)
+	if count != 5 {
+		t.Errorf("ran %d events, want 5", count)
+	}
+	if sim.Now() != 5.5 {
+		t.Errorf("Now() = %v, want 5.5", sim.Now())
+	}
+	if sim.Pending() != 5 {
+		t.Errorf("Pending() = %d, want 5", sim.Pending())
+	}
+	sim.RunUntil(100)
+	if count != 10 || sim.Now() != 100 {
+		t.Errorf("after draining: count=%d now=%v", count, sim.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	var sim Simulator
+	count := 0
+	sim.At(1, func() { count++; sim.Halt() })
+	sim.At(2, func() { count++ })
+	sim.Run()
+	if count != 1 {
+		t.Errorf("Halt did not stop the loop: count=%d", count)
+	}
+	if sim.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", sim.Pending())
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	// However events are scheduled (including re-entrant scheduling), the
+	// observed clock never decreases.
+	f := func(delays []uint16) bool {
+		var sim Simulator
+		last := -1.0
+		ok := true
+		for _, d := range delays {
+			d := float64(d) / 100
+			sim.At(d, func() {
+				if sim.Now() < last {
+					ok = false
+				}
+				last = sim.Now()
+				sim.After(0.5, func() {
+					if sim.Now() < last {
+						ok = false
+					}
+					last = sim.Now()
+				})
+			})
+		}
+		sim.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

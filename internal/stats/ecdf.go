@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample. Every
+// "CDF of users" figure in the paper is an ECDF; the type also supports
+// quantile lookup and a compact text rendering for terminal output.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from a sample (which it copies and sorts).
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// N returns the number of observations.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Eval returns F(x) = fraction of observations ≤ x.
+func (e *ECDF) Eval(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// need the count of values <= x, so search for the insertion point
+	// after any run of values equal to x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile of the underlying sample (type 7).
+func (e *ECDF) Quantile(p float64) float64 { return quantileSorted(e.sorted, p) }
+
+// Min and Max report the sample range.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max reports the largest observation.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Point is one (x, F(x)) coordinate of an ECDF curve.
+type Point struct {
+	X float64
+	F float64
+}
+
+// Curve returns up to n evenly spaced (in probability) points on the ECDF,
+// the series a plotting tool would consume.
+func (e *ECDF) Curve(n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	if n > len(e.sorted)+1 {
+		n = len(e.sorted) + 1
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		pts = append(pts, Point{X: e.Quantile(p), F: p})
+	}
+	return pts
+}
+
+// RenderQuantiles formats the ECDF as a fixed set of quantiles, the compact
+// representation used in the experiment reports. format is applied to each
+// x value (e.g. to attach units).
+func (e *ECDF) RenderQuantiles(format func(float64) string) string {
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	}
+	var b strings.Builder
+	for i, p := range []float64{0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95} {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "p%02.0f=%s", p*100, format(e.Quantile(p)))
+	}
+	return b.String()
+}

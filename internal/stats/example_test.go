@@ -1,0 +1,62 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/nwca/broadband/internal/stats"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// The paper's core decision rule: a one-tailed binomial test on matched
+// pairs plus the 52% practical-importance bar.
+func ExampleBinomialTest() {
+	// Table 1's peak-usage row: 70.3% of ~1000 pairs.
+	res, err := stats.BinomialTest(703, 1000, 0.5, stats.TailGreater)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res)
+	fmt.Println("significant:", res.Assess().Significant())
+	// Output:
+	// 703/1000 (70.3%), p=6.75e-39
+	// significant: true
+}
+
+// The practical-importance rule rejects statistically significant but
+// trivially small deviations.
+func ExampleBinomialResult_Assess() {
+	res, _ := stats.BinomialTest(51000, 100000, 0.5, stats.TailGreater)
+	s := res.Assess()
+	fmt.Printf("statistical=%v practical=%v significant=%v\n",
+		s.Statistical, s.Practical, s.Significant())
+	// Output:
+	// statistical=true practical=false significant=false
+}
+
+// Capacity classes are the paper's (100 kbps × 2^(k−1), 100 kbps × 2^k]
+// service bins.
+func ExampleClassOf() {
+	c := stats.ClassOf(unit.MbpsOf(10))
+	fmt.Println(c)
+	fmt.Println(c.Contains(unit.MbpsOf(12.8)), c.Contains(unit.MbpsOf(12.9)))
+	// Output:
+	// (6.4 Mbps, 12.8 Mbps]
+	// true false
+}
+
+// ECDFs drive every "CDF of users" figure.
+func ExampleECDF() {
+	e, _ := stats.NewECDF([]float64{1, 2, 2, 4, 8})
+	fmt.Printf("F(2) = %.1f, median = %.0f\n", e.Eval(2), e.Quantile(0.5))
+	// Output:
+	// F(2) = 0.6, median = 2
+}
+
+// MinDetectableFraction quantifies the paper's large-sample caution: at
+// n = 100,000 pairs even a 50.4% deviation reaches significance.
+func ExampleMinDetectableFraction() {
+	f, _ := stats.MinDetectableFraction(100000, 0.05, 0.8)
+	fmt.Printf("detectable fraction at n=100k: %.3f\n", f)
+	// Output:
+	// detectable fraction at n=100k: 0.504
+}

@@ -1,0 +1,8 @@
+package stats
+
+import "math/rand/v2"
+
+// newTestRand returns a deterministic generator for a test-provided seed.
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0xda7a5e7))
+}

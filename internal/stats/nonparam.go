@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Nonparametric tests used as robustness cross-checks on the paper's
+// binomial designs: the Kolmogorov–Smirnov two-sample test quantifies the
+// distributional separations the CDF figures show (India vs. the rest),
+// Mann–Whitney U compares unpaired groups without normality assumptions,
+// and the Wilcoxon signed-rank test strengthens the within-subject upgrade
+// analysis by using effect magnitudes where the paper's sign-style binomial
+// test uses directions only.
+
+// KSResult reports a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	D  float64 // maximum CDF separation
+	P  float64 // asymptotic p-value (two-sided)
+	N1 int
+	N2 int
+}
+
+// KSTest performs the two-sample Kolmogorov–Smirnov test. The asymptotic
+// Kolmogorov distribution is accurate for n1, n2 ≳ 20.
+func KSTest(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		if sa[i] <= sb[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	n1, n2 := float64(len(sa)), float64(len(sb))
+	ne := n1 * n2 / (n1 + n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, P: ksProb(lambda), N1: len(sa), N2: len(sb)}, nil
+}
+
+// ksProb is the Kolmogorov survival function Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// UTestResult reports a Mann–Whitney U test.
+type UTestResult struct {
+	U float64 // statistic of sample a
+	Z float64 // normal-approximation z-score (tie-corrected)
+	P float64 // p-value for the selected tail
+}
+
+// MannWhitneyU tests whether values of a tend to exceed values of b, via
+// the rank-sum statistic with the tie-corrected normal approximation
+// (appropriate at the sample sizes of this study).
+func MannWhitneyU(a, b []float64, tail Tail) (UTestResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return UTestResult{}, ErrEmpty
+	}
+	n1, n2 := float64(len(a)), float64(len(b))
+	combined := make([]float64, 0, len(a)+len(b))
+	combined = append(combined, a...)
+	combined = append(combined, b...)
+	r := ranks(combined)
+	var ra float64
+	for i := range a {
+		ra += r[i]
+	}
+	u := ra - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	// Tie correction to the variance.
+	tieSum := 0.0
+	sorted := append([]float64(nil), combined...)
+	sort.Float64s(sorted)
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			tieSum += t*t*t - t
+		}
+		i = j + 1
+	}
+	n := n1 + n2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if sigma2 <= 0 {
+		return UTestResult{U: u, Z: 0, P: 1}, nil
+	}
+	z := (u - mu) / math.Sqrt(sigma2)
+	res := UTestResult{U: u, Z: z}
+	switch tail {
+	case TailGreater:
+		res.P = 1 - NormalCDF(z)
+	case TailLess:
+		res.P = NormalCDF(z)
+	default:
+		res.P = 2 * (1 - NormalCDF(math.Abs(z)))
+	}
+	return res, nil
+}
+
+// WilcoxonResult reports a Wilcoxon signed-rank test over paired samples.
+type WilcoxonResult struct {
+	WPlus float64 // rank sum of positive differences
+	Z     float64
+	P     float64
+	N     int // non-zero differences used
+}
+
+// WilcoxonSignedRank tests whether paired differences (after − before) tend
+// to be positive, with the normal approximation (valid for n ≳ 20). Zero
+// differences are dropped, ties share average ranks.
+func WilcoxonSignedRank(before, after []float64, tail Tail) (WilcoxonResult, error) {
+	if len(before) != len(after) {
+		return WilcoxonResult{}, ErrMismatched
+	}
+	var diffs []float64
+	for i := range before {
+		if d := after[i] - before[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	if len(diffs) == 0 {
+		return WilcoxonResult{}, ErrEmpty
+	}
+	abs := make([]float64, len(diffs))
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	r := ranks(abs)
+	var wPlus float64
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += r[i]
+		}
+	}
+	n := float64(len(diffs))
+	mu := n * (n + 1) / 4
+	sigma := math.Sqrt(n * (n + 1) * (2*n + 1) / 24)
+	z := (wPlus - mu) / sigma
+	res := WilcoxonResult{WPlus: wPlus, Z: z, N: len(diffs)}
+	switch tail {
+	case TailGreater:
+		res.P = 1 - NormalCDF(z)
+	case TailLess:
+		res.P = NormalCDF(z)
+	default:
+		res.P = 2 * (1 - NormalCDF(math.Abs(z)))
+	}
+	return res, nil
+}
+
+// BootstrapCI estimates a confidence interval for an arbitrary statistic by
+// the percentile bootstrap. The resampling stream is supplied by next (a
+// function returning uniform [0,1) draws) so callers control determinism.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, rounds int, next func() float64) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	if rounds <= 0 {
+		rounds = 1000
+	}
+	if next == nil {
+		return Interval{}, ErrShortSample
+	}
+	point := stat(xs)
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[int(next()*float64(len(xs)))]
+		}
+		estimates[r] = stat(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - level) / 2
+	lo := quantileSorted(estimates, alpha)
+	hi := quantileSorted(estimates, 1-alpha)
+	return Interval{Point: point, Lo: lo, Hi: hi, Level: level}, nil
+}

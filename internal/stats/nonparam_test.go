@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func normalSample(seed int64, n int, mean, sd float64) []float64 {
+	rng := newTestRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + sd*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestKSTestIdenticalDistributions(t *testing.T) {
+	a := normalSample(1, 400, 0, 1)
+	b := normalSample(2, 400, 0, 1)
+	res, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.05 {
+		t.Errorf("same-distribution KS rejected: D=%v p=%v", res.D, res.P)
+	}
+	if res.N1 != 400 || res.N2 != 400 {
+		t.Errorf("sizes: %d, %d", res.N1, res.N2)
+	}
+}
+
+func TestKSTestSeparatedDistributions(t *testing.T) {
+	a := normalSample(3, 300, 0, 1)
+	b := normalSample(4, 300, 1.2, 1)
+	res, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("shifted distributions not detected: D=%v p=%v", res.D, res.P)
+	}
+	if res.D < 0.3 {
+		t.Errorf("D = %v, want a large separation", res.D)
+	}
+}
+
+func TestKSTestEdgeCases(t *testing.T) {
+	if _, err := KSTest(nil, []float64{1}); err != ErrEmpty {
+		t.Error("empty sample should error")
+	}
+	// Completely disjoint supports → D = 1, p ≈ 0.
+	res, err := KSTest([]float64{1, 2, 3, 4, 5}, []float64{10, 11, 12, 13, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 1 {
+		t.Errorf("disjoint supports D = %v, want 1", res.D)
+	}
+	if res.P > 0.01 {
+		t.Errorf("disjoint supports p = %v", res.P)
+	}
+}
+
+func TestKSDBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRand(seed)
+		a := make([]float64, 20+rng.IntN(50))
+		b := make([]float64, 20+rng.IntN(50))
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		for i := range b {
+			b[i] = rng.Float64() * (1 + rng.Float64())
+		}
+		res, err := KSTest(a, b)
+		return err == nil && res.D >= 0 && res.D <= 1 && res.P >= 0 && res.P <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMannWhitneyNull(t *testing.T) {
+	a := normalSample(5, 250, 3, 1)
+	b := normalSample(6, 250, 3, 1)
+	res, err := MannWhitneyU(a, b, TailTwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.05 {
+		t.Errorf("null U test rejected: z=%v p=%v", res.Z, res.P)
+	}
+}
+
+func TestMannWhitneyShift(t *testing.T) {
+	a := normalSample(7, 200, 3.6, 1)
+	b := normalSample(8, 200, 3.0, 1)
+	res, err := MannWhitneyU(a, b, TailGreater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-4 {
+		t.Errorf("0.6σ shift not detected: z=%v p=%v", res.Z, res.P)
+	}
+	// Reversed tail must be near 1.
+	rev, _ := MannWhitneyU(a, b, TailLess)
+	if rev.P < 0.99 {
+		t.Errorf("wrong-tail p = %v, want ≈1", rev.P)
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// Hand-computable: a = {1,2,3}, b = {4,5,6}: U_a = 0.
+	res, err := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6}, TailLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+	if res.P > 0.05 {
+		t.Errorf("p = %v for fully separated samples", res.P)
+	}
+	// Ties: all equal → U = n1*n2/2, z = 0 (tie-degenerate variance).
+	tied, err := MannWhitneyU([]float64{1, 1}, []float64{1, 1}, TailTwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tied.P != 1 {
+		t.Errorf("fully tied p = %v, want 1", tied.P)
+	}
+	if _, err := MannWhitneyU(nil, []float64{1}, TailGreater); err != ErrEmpty {
+		t.Error("empty input should error")
+	}
+}
+
+func TestWilcoxonSignedRankDetectsShift(t *testing.T) {
+	rng := newTestRand(9)
+	n := 120
+	before := make([]float64, n)
+	after := make([]float64, n)
+	for i := 0; i < n; i++ {
+		before[i] = 5 + rng.NormFloat64()
+		after[i] = before[i] + 0.4 + 0.8*rng.NormFloat64()
+	}
+	res, err := WilcoxonSignedRank(before, after, TailGreater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-3 {
+		t.Errorf("paired shift not detected: z=%v p=%v", res.Z, res.P)
+	}
+	if res.N != n {
+		t.Errorf("used %d pairs, want %d", res.N, n)
+	}
+}
+
+func TestWilcoxonNull(t *testing.T) {
+	rng := newTestRand(10)
+	n := 150
+	before := make([]float64, n)
+	after := make([]float64, n)
+	for i := 0; i < n; i++ {
+		before[i] = rng.NormFloat64()
+		after[i] = rng.NormFloat64()
+	}
+	res, err := WilcoxonSignedRank(before, after, TailTwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.05 {
+		t.Errorf("null paired test rejected: z=%v p=%v", res.Z, res.P)
+	}
+}
+
+func TestWilcoxonEdgeCases(t *testing.T) {
+	if _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}, TailGreater); err != ErrMismatched {
+		t.Error("mismatched lengths should error")
+	}
+	// All-zero differences drop out entirely.
+	if _, err := WilcoxonSignedRank([]float64{1, 2}, []float64{1, 2}, TailGreater); err != ErrEmpty {
+		t.Error("all-tied pairs should error")
+	}
+	// Every difference positive: one-tailed p must be small.
+	res, err := WilcoxonSignedRank(
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20},
+		[]float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21},
+		TailGreater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.001 {
+		t.Errorf("uniformly positive differences p = %v", res.P)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := normalSample(11, 300, 10, 2)
+	rng := newTestRand(12)
+	meanStat := func(v []float64) float64 {
+		m, _ := Mean(v)
+		return m
+	}
+	iv, err := BootstrapCI(xs, meanStat, 0.95, 800, rng.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(10) {
+		t.Errorf("bootstrap CI [%v, %v] misses the true mean 10", iv.Lo, iv.Hi)
+	}
+	// Must agree with the analytic CI within a factor.
+	analytic, _ := MeanCI(xs, 0.95)
+	if iv.HalfWidth() < 0.5*analytic.HalfWidth() || iv.HalfWidth() > 2*analytic.HalfWidth() {
+		t.Errorf("bootstrap halfwidth %v vs analytic %v", iv.HalfWidth(), analytic.HalfWidth())
+	}
+	if _, err := BootstrapCI(nil, meanStat, 0.95, 100, rng.Float64); err != ErrEmpty {
+		t.Error("empty input should error")
+	}
+	if _, err := BootstrapCI(xs, meanStat, 0.95, 100, nil); err == nil {
+		t.Error("nil randomness source should error")
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	// Bootstrap works for statistics with no closed-form CI, e.g. median.
+	xs := normalSample(13, 400, 7, 3)
+	rng := newTestRand(14)
+	medStat := func(v []float64) float64 {
+		m, _ := Median(v)
+		return m
+	}
+	iv, err := BootstrapCI(xs, medStat, 0.9, 500, rng.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(7) {
+		t.Errorf("median CI [%v, %v] misses 7", iv.Lo, iv.Hi)
+	}
+	if math.Abs(iv.Point-7) > 0.6 {
+		t.Errorf("median point %v far from 7", iv.Point)
+	}
+}

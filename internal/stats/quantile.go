@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the p-quantile (p in [0, 1]) of the sample using linear
+// interpolation between order statistics (Hyndman–Fan type 7, the default of
+// R and NumPy). The input need not be sorted.
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(p) {
+		return math.NaN(), nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p), nil
+}
+
+// quantileSorted computes the type-7 quantile of an already sorted sample.
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	switch {
+	case p <= 0:
+		return sorted[0]
+	case p >= 1:
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Percentile returns the q-th percentile (q in [0, 100]) of the sample; the
+// paper's peak-demand metric is Percentile(xs, 95).
+func Percentile(xs []float64, q float64) (float64, error) {
+	return Quantile(xs, q/100)
+}
+
+// Median returns the sample median.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// IQR returns the interquartile range (Q3 − Q1) of the sample.
+func IQR(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25), nil
+}
+
+// Summary is a five-number-plus summary of a sample, convenient for the
+// dataset characterization tables.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, Median, Max   float64
+	P05, P25, P75, P95 float64
+}
+
+// Summarize computes a Summary in one pass over a sorted copy.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	m, _ := Mean(sorted)
+	sd := 0.0
+	if len(sorted) > 1 {
+		sd, _ = StdDev(sorted)
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   m,
+		StdDev: sd,
+		Min:    sorted[0],
+		Median: quantileSorted(sorted, 0.5),
+		Max:    sorted[len(sorted)-1],
+		P05:    quantileSorted(sorted, 0.05),
+		P25:    quantileSorted(sorted, 0.25),
+		P75:    quantileSorted(sorted, 0.75),
+		P95:    quantileSorted(sorted, 0.95),
+	}, nil
+}

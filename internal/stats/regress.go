@@ -1,0 +1,66 @@
+package stats
+
+import "math"
+
+// LinearFit is the result of a simple ordinary-least-squares regression
+// y = Intercept + Slope·x. The paper fits price-vs-capacity per market
+// (Sec. 6) and uses the slope as the "cost of increasing capacity".
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R         float64 // Pearson correlation of x and y
+	R2        float64 // coefficient of determination
+	N         int     // number of points fitted
+	ResidStd  float64 // residual standard deviation (n−2 denominator)
+}
+
+// LinearRegression fits y = a + b·x by OLS. It requires at least two points
+// with non-zero x variance.
+func LinearRegression(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, ErrMismatched
+	}
+	if len(xs) < 2 {
+		if len(xs) == 0 {
+			return LinearFit{}, ErrEmpty
+		}
+		return LinearFit{}, ErrShortSample
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrShortSample
+	}
+	slope := sxy / sxx
+	fit := LinearFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         len(xs),
+	}
+	if syy > 0 {
+		fit.R = sxy / math.Sqrt(sxx*syy)
+		fit.R2 = fit.R * fit.R
+	} else {
+		// A perfectly flat response is perfectly explained by a zero slope.
+		fit.R, fit.R2 = 0, 1
+	}
+	if len(xs) > 2 {
+		var ss float64
+		for i := range xs {
+			resid := ys[i] - fit.Predict(xs[i])
+			ss += resid * resid
+		}
+		fit.ResidStd = math.Sqrt(ss / float64(len(xs)-2))
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }

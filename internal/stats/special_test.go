@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.12g, want %.12g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestLogBeta(t *testing.T) {
+	// B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+	almost(t, "LogBeta(1,1)", LogBeta(1, 1), 0, 1e-12)
+	almost(t, "LogBeta(2,3)", LogBeta(2, 3), math.Log(1.0/12), 1e-12)
+	almost(t, "LogBeta(0.5,0.5)", LogBeta(0.5, 0.5), math.Log(math.Pi), 1e-12)
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1, 1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		almost(t, "I_x(1,1)", RegIncBeta(1, 1, x), x, 1e-12)
+	}
+	// I_x(2, 1) = x^2.
+	almost(t, "I_0.3(2,1)", RegIncBeta(2, 1, 0.3), 0.09, 1e-12)
+	// I_x(1, b) = 1 - (1-x)^b.
+	almost(t, "I_0.2(1,5)", RegIncBeta(1, 5, 0.2), 1-math.Pow(0.8, 5), 1e-12)
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	almost(t, "symmetry", RegIncBeta(3.5, 2.25, 0.35), 1-RegIncBeta(2.25, 3.5, 0.65), 1e-12)
+	// Bounds.
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("RegIncBeta must be 0 at x=0 and 1 at x=1")
+	}
+	if !math.IsNaN(RegIncBeta(-1, 2, 0.5)) || !math.IsNaN(RegIncBeta(2, 2, math.NaN())) {
+		t.Error("invalid arguments should produce NaN")
+	}
+}
+
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	f := func(a, b, x1, x2 float64) bool {
+		a = 0.1 + math.Mod(math.Abs(a), 20)
+		b = 0.1 + math.Mod(math.Abs(b), 20)
+		x1 = math.Mod(math.Abs(x1), 1)
+		x2 = math.Mod(math.Abs(x2), 1)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		v1, v2 := RegIncBeta(a, b, x1), RegIncBeta(a, b, x2)
+		return v1 <= v2+1e-12 && v1 >= -1e-15 && v2 <= 1+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	almost(t, "Phi(0)", NormalCDF(0), 0.5, 1e-15)
+	almost(t, "Phi(1.96)", NormalCDF(1.959963984540054), 0.975, 1e-9)
+	almost(t, "Phi(-1.96)", NormalCDF(-1.959963984540054), 0.025, 1e-9)
+	almost(t, "Phi(3)", NormalCDF(3), 0.9986501019683699, 1e-12)
+}
+
+func TestNormalQuantile(t *testing.T) {
+	almost(t, "z(0.5)", NormalQuantile(0.5), 0, 1e-9)
+	almost(t, "z(0.975)", NormalQuantile(0.975), 1.959963984540054, 1e-9)
+	almost(t, "z(0.025)", NormalQuantile(0.025), -1.959963984540054, 1e-9)
+	almost(t, "z(1e-6)", NormalQuantile(1e-6), -4.753424308822899, 1e-7)
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be ±Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.5)) {
+		t.Error("quantile outside [0,1] should be NaN")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(p float64) bool {
+		p = 0.0001 + 0.9998*math.Mod(math.Abs(p), 1)
+		z := NormalQuantile(p)
+		return math.Abs(NormalCDF(z)-p) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentT(t *testing.T) {
+	// df=1 is the Cauchy distribution: CDF(1) = 3/4.
+	almost(t, "T1(1)", StudentTCDF(1, 1), 0.75, 1e-10)
+	almost(t, "T1(0)", StudentTCDF(0, 1), 0.5, 1e-15)
+	// Large df converges to the normal.
+	almost(t, "T1e6(1.96)", StudentTCDF(1.96, 1e6), NormalCDF(1.96), 1e-5)
+	// Classic table value: t_{0.975, 10} = 2.2281.
+	almost(t, "tq(0.975,10)", StudentTQuantile(0.975, 10), 2.228138852, 1e-6)
+	almost(t, "tq(0.975,1)", StudentTQuantile(0.975, 1), 12.7062047362, 1e-5)
+	almost(t, "tq(0.5,7)", StudentTQuantile(0.5, 7), 0, 1e-12)
+	// Symmetry.
+	almost(t, "tq symmetry", StudentTQuantile(0.1, 5), -StudentTQuantile(0.9, 5), 1e-9)
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	f := func(p, df float64) bool {
+		p = 0.001 + 0.998*math.Mod(math.Abs(p), 1)
+		df = 1 + math.Mod(math.Abs(df), 200)
+		q := StudentTQuantile(p, df)
+		return math.Abs(StudentTCDF(q, df)-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

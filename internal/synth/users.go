@@ -1,0 +1,318 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/traffic"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// wtpPerMbps is the base willingness to pay per Mbps of (headroom-adjusted)
+// need, at the US income reference. Together with headroom it is solved
+// from the paper's two capacity anchors: the interior optimum of the choice
+// model is c* = headroom·need·ln(wtp/slope), and (US: slope 0.55, c* ≈ 18;
+// Japan: slope 0.08, c* ≈ 28) pins wtp ≈ 17.7 and headroom ≈ 1.53.
+const wtpPerMbps = 17.7
+
+// headroom is the value-curve stretch beyond raw need (see market.Subscriber).
+const headroom = 1.85
+
+// incomeRef anchors the WTP income scaling.
+const incomeRef = 49797.0
+
+type generator struct {
+	cfg    Config
+	world  *World
+	rng    *randx.Source
+	nextID int64
+}
+
+// populate generates every yearly cohort of the Dasu panel plus the US
+// gateway panel.
+func (g *generator) populate() error {
+	years := g.cfg.Years
+	primary := years[len(years)-1]
+	for _, year := range years {
+		// Earlier cohorts are smaller (subscriber growth) and carry lower
+		// latent need (traffic growth).
+		age := float64(primary - year)
+		scale := math.Pow(g.cfg.YearGrowth, -age)
+		needScale := math.Pow(g.cfg.NeedGrowth, -age)
+		total := int(math.Round(float64(g.cfg.Users) * scale))
+		minPer := 0
+		if year == primary {
+			minPer = g.cfg.MinPerCountry
+		}
+		counts := countryCounts(g.cfg.Profiles, total, minPer)
+		for _, prof := range g.cfg.Profiles {
+			n := counts[prof.Country.Code]
+			for i := 0; i < n; i++ {
+				if err := g.addUser(prof, year, needScale, dataset.VantageDasu); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// The gateway (FCC) panel: US-only, primary year, uniform sampling.
+	usProf, ok := findProfile(g.cfg.Profiles, "US")
+	if !ok {
+		return fmt.Errorf("synth: gateway panel needs a US profile")
+	}
+	for i := 0; i < g.cfg.FCCUsers; i++ {
+		if err := g.addUser(usProf, primary, 1, dataset.VantageGateway); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func findProfile(profiles []market.Profile, code string) (market.Profile, bool) {
+	for _, p := range profiles {
+		if p.Country.Code == code {
+			return p, true
+		}
+	}
+	return market.Profile{}, false
+}
+
+// addUser draws one subscriber: economy → plan choice → line quality →
+// measurement → usage. Households that cannot afford any plan are redrawn
+// (the offline population simply never enters a measurement panel); after
+// a bounded number of attempts the country contributes fewer users.
+func (g *generator) addUser(prof market.Profile, year int, needScale float64, vantage dataset.Vantage) error {
+	cat := g.world.Catalogs[prof.Country.Code]
+	for attempt := 0; attempt < 12; attempt++ {
+		g.nextID++
+		id := g.nextID
+		rng := g.rng.SplitN("user", int(id))
+
+		// Availability friction: a share of households can only buy what
+		// their street is wired for (legacy DSL footprints, no cable/fiber
+		// build-out yet) — the 2011–2013 reality that kept part of the
+		// population on slow tiers. Legacy footprints skew rural and toward
+		// lighter-using households, so these subscribers also carry reduced
+		// latent demand.
+		needMult := 1.0
+		choices := cat
+		if avail := rng.Split("avail"); avail.Bool(availabilityShare) {
+			needMult = 0.35 + 0.25*avail.Float64()
+			// The street-level limit tracks the era: legacy footprints were
+			// slower in earlier cohort years and improve alongside demand
+			// (the infrastructure half of the "jump to a higher service"
+			// dynamic).
+			limit := unit.MbpsOf(avail.LogNormalMedian(3*needScale, 0.5))
+			if truncated, ok := truncateCatalog(cat, limit); ok {
+				choices = truncated
+			}
+		}
+		sub, truth := drawSubscriber(prof, needScale*needMult, rng)
+		plan, ok := market.Choose(choices, sub, market.ChoiceConfig{NoiseUSD: 2 + 0.015*float64(sub.Budget)}, rng.Split("choice"))
+		if !ok {
+			continue // cannot afford broadband; resample the household
+		}
+
+		u, err := g.realizeUser(id, prof, year, vantage, plan, &truth, rng)
+		if err != nil {
+			return err
+		}
+		g.world.Data.Users = append(g.world.Data.Users, *u)
+		g.world.Truth[id] = truth
+		return nil
+	}
+	return nil // market too expensive for this draw sequence; skip silently
+}
+
+// needIncomeCorr couples latent demand to household income: wealthier
+// households run more devices and consume more. This correlation is what
+// lets access-price selection (only the affluent subscribe in expensive
+// markets) translate into higher demand per unit capacity — the causal
+// channel behind the paper's Table 3.
+const needIncomeCorr = 0.65
+
+// drawSubscriber samples the household economics and latent demand.
+func drawSubscriber(prof market.Profile, needScale float64, rng *randx.Source) (market.Subscriber, GroundTruth) {
+	econ := rng.Split("econ")
+	// Correlated log-normal draws for income and need.
+	zIncome := econ.Normal(0, 1)
+	zNeed := needIncomeCorr*zIncome + math.Sqrt(1-needIncomeCorr*needIncomeCorr)*rng.Split("need").Normal(0, 1)
+	need := prof.NeedMedianMbps * needScale * math.Exp(prof.NeedSigma*zNeed)
+	if need < 0.1 {
+		need = 0.1
+	}
+	if need > 60 {
+		need = 60
+	}
+	// Household income around the national level, heavy-tailed; measurement
+	// panels skew slightly affluent.
+	income := prof.Country.GDPPerCapitaPPP / 12 * 1.15 * math.Exp(0.65*zIncome)
+	// Budget: the share of monthly income a household will spend on
+	// broadband. Tight enough that mid-priced markets see real
+	// affordability selection (2013 broadband penetration in middle-income
+	// countries sat near 30–50%, versus 70%+ in rich ones).
+	share := econ.TruncNormal(0.03, 0.018, 0.007, 0.11)
+	budget := income * share
+	// Willingness to pay scales with income (mildly) and with need.
+	wtp := wtpPerMbps * math.Pow(income*12/incomeRef, 0.3) * headroom * need
+	sub := market.Subscriber{
+		NeedMbps: need,
+		WTP:      unit.USD(wtp),
+		Budget:   unit.USD(budget),
+		Headroom: headroom,
+	}
+	return sub, GroundTruth{NeedMbps: need, BudgetUSD: budget}
+}
+
+// realizeUser measures the line and generates usage for a chosen plan.
+func (g *generator) realizeUser(id int64, prof market.Profile, year int, vantage dataset.Vantage, plan market.Plan, truth *GroundTruth, rng *randx.Source) (*dataset.User, error) {
+	q, satellite := drawQuality(prof, plan, rng.Split("quality"))
+	truth.Satellite = satellite
+	truth.QoE = traffic.QoEFactor(q)
+	if g.cfg.DisableQoE {
+		truth.QoE = 1
+	}
+
+	meas, err := g.measure(plan, q, rng.Split("measure"))
+	if err != nil {
+		return nil, err
+	}
+
+	btUser := vantage == dataset.VantageDasu && rng.Split("bt").Bool(prof.BTShare)
+	archetype := drawArchetype(rng.Split("archetype"))
+	profile := traffic.Profile{
+		NeedMbps: truth.NeedMbps,
+		// The session budget is where latent need expresses itself as
+		// activity volume (hungrier households run more sessions).
+		SessionsPerDay:   traffic.DefaultSessionsPerDay * sessionScale(truth.NeedMbps) * rng.Split("budget").LogNormalMedian(1, 0.4),
+		BTUser:           btUser,
+		BTSessionsPerDay: 2.5,
+		Archetype:        archetype,
+		MonthlyCap:       plan.Cap,
+	}
+	tq := q
+	if g.cfg.DisableQoE {
+		// Ablation world: sever the quality→demand arrow entirely (both
+		// the behavioral suppression and the TCP-feasibility ceiling) by
+		// generating traffic as if every line were pristine. The recorded
+		// measurements still reflect the true line, so the latency/loss
+		// experiments run unchanged — and must now come out null.
+		tq = traffic.Quality{RTT: 0.02, Loss: 0}
+	}
+	tgen := &traffic.Generator{
+		Capacity: meas.down,
+		Quality:  tq,
+		Profile:  profile,
+	}
+	series, err := tgen.Generate(g.cfg.Days, rng.Split("traffic"))
+	if err != nil {
+		return nil, err
+	}
+	mask := traffic.GatewayMask
+	if vantage == dataset.VantageDasu {
+		mask = traffic.DasuMask
+	}
+	sum, err := series.Summarize(mask)
+	if err != nil {
+		return nil, err
+	}
+
+	netIdx := rng.Split("net").IntN(4)
+	city := rng.Split("city").IntN(6)
+	u := &dataset.User{
+		ID:         id,
+		Country:    prof.Country.Code,
+		Vantage:    vantage,
+		Year:       year,
+		ISP:        plan.ISP,
+		NetworkKey: fmt.Sprintf("%s/net%d/city%d", plan.ISP, netIdx, city),
+		PlanDown:   plan.Down,
+		PlanUp:     plan.Up,
+		PlanPrice:  plan.PriceUSD,
+		PlanTech:   plan.Tech,
+		PlanCap:    plan.Cap,
+		Capacity:   meas.down,
+		UpCapacity: meas.up,
+		RTT:        meas.rtt,
+		WebRTT:     meas.webRTT,
+		Loss:       meas.loss,
+		Usage: dataset.UsageSummary{
+			Mean:     sum.Mean,
+			Peak:     sum.Peak,
+			MeanNoBT: sum.MeanNoBT,
+			PeakNoBT: sum.PeakNoBT,
+		},
+		UsesBT:      btUser,
+		Archetype:   archetype,
+		AccessPrice: g.world.Data.Markets[prof.Country.Code].AccessPrice,
+		UpgradeCost: unit.PerMbps(g.world.Data.Markets[prof.Country.Code].Upgrade.Slope),
+	}
+	return u, nil
+}
+
+// availabilityShare is the fraction of households whose street is only
+// wired for a slow legacy tier regardless of what the market sells.
+const availabilityShare = 0.12
+
+// truncateCatalog keeps the shared plans at or below the availability
+// limit; ok is false when nothing survives (the full catalog then applies).
+func truncateCatalog(cat market.Catalog, limit unit.Bitrate) (market.Catalog, bool) {
+	out := market.Catalog{Country: cat.Country}
+	for _, p := range cat.Plans {
+		if !p.Dedicated && p.Down <= limit {
+			out.Plans = append(out.Plans, p)
+		}
+	}
+	return out, len(out.Plans) > 0
+}
+
+// sessionScale converts latent need into a session-budget multiplier. The
+// sublinear power and the cap reflect the finite hours in a household day.
+func sessionScale(needMbps float64) float64 {
+	if needMbps <= 0 {
+		return 1
+	}
+	s := math.Pow(needMbps/2.5, 0.45)
+	if s > 1.5 {
+		s = 1.5
+	}
+	return s
+}
+
+// drawArchetype samples a household application-mix category from the
+// population shares.
+func drawArchetype(rng *randx.Source) traffic.Archetype {
+	archetypes := traffic.Archetypes()
+	weights := make([]float64, len(archetypes))
+	for i, a := range archetypes {
+		weights[i] = traffic.ArchetypeShares[a]
+	}
+	return archetypes[rng.Categorical(weights)]
+}
+
+// drawQuality samples the line's latency and loss from the country profile,
+// with satellite/fixed-wireless overrides for that share of users.
+func drawQuality(prof market.Profile, plan market.Plan, rng *randx.Source) (traffic.Quality, bool) {
+	satellite := rng.Bool(prof.SatelliteShare) || plan.Tech == market.Satellite
+	rtt := rng.LogNormalMedian(prof.BaseRTTms/1000, prof.RTTSigma)
+	lossPct := rng.LogNormalMedian(prof.LossMedianPct, prof.LossSigma)
+	if satellite {
+		rtt += 0.45 + 0.25*rng.Float64()
+		lossPct *= 3 + 4*rng.Float64()
+	}
+	if rtt < 0.004 {
+		rtt = 0.004
+	}
+	if rtt > 4 {
+		rtt = 4
+	}
+	if lossPct < 0.001 {
+		lossPct = 0.001
+	}
+	if lossPct > 15 {
+		lossPct = 15
+	}
+	return traffic.Quality{RTT: rtt, Loss: unit.LossFromPercent(lossPct)}, satellite
+}

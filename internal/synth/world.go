@@ -1,0 +1,178 @@
+// Package synth generates the study's three datasets from a single seed:
+// the end-host (Dasu-style) user panel, the US residential-gateway
+// (FCC-style) panel, and the retail-plan survey. It wires the market model
+// (who subscribes to what, and why), the traffic model (what they then do
+// with it), and the network simulator (what the measurements see) into
+// dataset records with the paper's schema.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// MeasureMode selects how service characteristics are measured.
+type MeasureMode int
+
+const (
+	// MeasureFast derives NDT-style results from the line parameters via
+	// the calibrated single-flow model (Mathis-bounded efficiency). It is
+	// validated against MeasureNDT in tests and is the default for large
+	// worlds.
+	MeasureFast MeasureMode = iota
+	// MeasureNDT runs the full packet-level TCP simulation for every
+	// user's capacity/latency/loss measurement. Slower; bit-faithful to
+	// the netsim substrate.
+	MeasureNDT
+)
+
+// Config parameterizes a world generation.
+type Config struct {
+	Seed uint64
+	// Users is the target number of end-host (Dasu) users per primary
+	// year, distributed across countries by profile weight.
+	Users int
+	// FCCUsers is the size of the US gateway panel.
+	FCCUsers int
+	// Days is the per-user observation window in simulated days.
+	Days int
+	// Years lists the longitudinal cohort years; the last is the primary
+	// year carrying the Users target. Earlier years shrink by YearGrowth.
+	Years []int
+	// YearGrowth is the year-over-year subscriber growth factor (>1) and
+	// drives both cohort sizes and the latent-need drift between years.
+	YearGrowth float64
+	// NeedGrowth is the year-over-year growth of median latent demand —
+	// the "fourfold global traffic growth" driver that shifts users to
+	// higher classes rather than raising within-class demand.
+	NeedGrowth float64
+	// SwitchTarget is the number of service-upgrade (before/after) records
+	// to generate for the within-subject experiments.
+	SwitchTarget int
+	// MinPerCountry floors each country's primary-year population so tier
+	// analyses in small worlds keep their case-study markets (0 disables).
+	MinPerCountry int
+	// Measurement selects fast or packet-level measurement.
+	Measurement MeasureMode
+	// Profiles overrides the built-in market world (ablation worlds).
+	Profiles []market.Profile
+	// DisableQoE severs the quality→demand causal arrow: an ablation world
+	// in which the latency/loss experiments must come out null.
+	DisableQoE bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Users <= 0 {
+		c.Users = 2000
+	}
+	if c.FCCUsers <= 0 {
+		c.FCCUsers = c.Users / 4
+	}
+	if c.Days <= 0 {
+		c.Days = 3
+	}
+	if len(c.Years) == 0 {
+		c.Years = []int{2011, 2012, 2013}
+	}
+	if c.YearGrowth <= 1 {
+		c.YearGrowth = 1.35
+	}
+	if c.NeedGrowth <= 1 {
+		// Modest per-household drift: the paper's Fig. 6 finds within-class
+		// demand constant, so most traffic growth must come from cohort
+		// growth and class jumps, not from households using a given class
+		// harder. 15%/year keeps the cross-year experiment null while the
+		// switch panel carries the demand-growth story.
+		c.NeedGrowth = 1.12
+	}
+	if c.SwitchTarget < 0 {
+		c.SwitchTarget = 0
+	} else if c.SwitchTarget == 0 {
+		c.SwitchTarget = c.Users / 4
+	}
+	if c.Profiles == nil {
+		c.Profiles = market.World()
+	}
+	return c
+}
+
+// World is the generated world: the dataset plus the generator-side ground
+// truth that tests use to validate the inference machinery.
+type World struct {
+	Data dataset.Dataset
+	// Catalogs are the per-country plan catalogs behind the survey.
+	Catalogs map[string]market.Catalog
+	// Profiles are the market profiles used.
+	Profiles []market.Profile
+	// Truth holds per-user latent variables (keyed by user ID) that no
+	// real study could observe; placebo and recovery tests read them.
+	Truth map[int64]GroundTruth
+}
+
+// GroundTruth is the latent state of one synthetic user.
+type GroundTruth struct {
+	NeedMbps  float64
+	BudgetUSD float64
+	Satellite bool
+	QoE       float64
+}
+
+// Build generates a world.
+func Build(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Profiles) == 0 {
+		return nil, fmt.Errorf("synth: no market profiles")
+	}
+	root := randx.New(cfg.Seed)
+
+	w := &World{
+		Catalogs: market.BuildAllCatalogs(cfg.Profiles, root.Split("catalogs")),
+		Profiles: cfg.Profiles,
+		Truth:    make(map[int64]GroundTruth),
+	}
+	w.Data.Markets = make(map[string]market.MarketSummary, len(cfg.Profiles))
+	for code, cat := range w.Catalogs {
+		sum, err := market.Summarize(cat)
+		if err != nil {
+			return nil, fmt.Errorf("synth: market %s: %w", code, err)
+		}
+		w.Data.Markets[code] = sum
+		w.Data.Plans = append(w.Data.Plans, cat.Plans...)
+	}
+
+	gen := &generator{cfg: cfg, world: w, rng: root}
+	if err := gen.populate(); err != nil {
+		return nil, err
+	}
+	if err := gen.upgrades(); err != nil {
+		return nil, err
+	}
+	if err := w.Data.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated dataset invalid: %w", err)
+	}
+	return w, nil
+}
+
+// countryCounts allocates a population across countries proportionally to
+// profile weights, flooring at minPer.
+func countryCounts(profiles []market.Profile, total, minPer int) map[string]int {
+	sum := 0.0
+	for _, p := range profiles {
+		sum += p.UserWeight
+	}
+	out := make(map[string]int, len(profiles))
+	for _, p := range profiles {
+		n := int(math.Round(float64(total) * p.UserWeight / sum))
+		if n < minPer {
+			n = minPer
+		}
+		if n > 0 {
+			out[p.Country.Code] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package traffic
+
+import (
+	"fmt"
+
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// AppType labels the application classes of the session mix.
+type AppType int
+
+// The modeled application classes.
+const (
+	AppWeb AppType = iota
+	AppVideo
+	AppBulk
+	AppBackground
+	AppTorrent
+)
+
+// String names the application class.
+func (a AppType) String() string {
+	switch a {
+	case AppWeb:
+		return "web"
+	case AppVideo:
+		return "video"
+	case AppBulk:
+		return "bulk"
+	case AppBackground:
+		return "background"
+	case AppTorrent:
+		return "torrent"
+	default:
+		return fmt.Sprintf("AppType(%d)", int(a))
+	}
+}
+
+// Session is one application transfer to be realized by the fluid
+// simulator: a volume, a per-flow rate ceiling and an arrival time.
+type Session struct {
+	App     AppType
+	Arrival float64 // seconds from horizon start
+	Volume  unit.ByteSize
+	Cap     unit.Bitrate // per-flow ceiling before line/TCP limits
+}
+
+// sessionMix is the non-BitTorrent application mix (weights sum to 1).
+var sessionMix = []struct {
+	app    AppType
+	weight float64
+}{
+	{AppWeb, 0.52},
+	{AppVideo, 0.18},
+	{AppBulk, 0.10},
+	{AppBackground, 0.20},
+}
+
+// drawSession materializes one session of the given class for a user.
+func (g *Generator) drawSession(app AppType, arrival float64, rng *randx.Source) Session {
+	s := Session{App: app, Arrival: arrival}
+	switch app {
+	case AppWeb:
+		// Page-weight-scale objects, heavy right tail (photo albums, app
+		// downloads riding in browser sessions).
+		s.Volume = unit.ByteSize(rng.LogNormalMedian(1.2e6, 1.3))
+		// Far-end and per-connection limits keep web bursts from always
+		// saturating fat pipes.
+		s.Cap = unit.Bitrate(rng.LogNormalMedian(6e6, 0.55))
+	case AppVideo:
+		// Adaptive streaming: bitrate climbs with available capacity up to
+		// the household's quality appetite, then adapts DOWN to what the
+		// line can actually feed (TCP-feasible rate under the line's loss
+		// and latency); volume = delivered bitrate × duration.
+		bitrate := g.videoBitrate(rng)
+		if feasible := FeasibleRate(g.Capacity, g.Quality, 0); bitrate > feasible {
+			bitrate = feasible
+		}
+		durSec := rng.LogNormalMedian(14*60, 0.7)
+		if durSec > 4*3600 {
+			durSec = 4 * 3600
+		}
+		s.Cap = bitrate * 1.25 // buffered players burst above nominal rate
+		s.Volume = unit.VolumeAt(bitrate, durSec)
+	case AppBulk:
+		// Software updates, large downloads: fixed volume, pulled at
+		// whatever the slower of the line and the era's server/CDN side
+		// sustains (2011–2013 remote bottlenecks sat near ~12 Mbps).
+		s.Volume = unit.ByteSize(rng.BoundedPareto(15e6, 3e9, 1.25))
+		s.Cap = unit.Bitrate(rng.LogNormalMedian(12e6, 0.6))
+	case AppBackground:
+		// Sync, telemetry, mail: small and rate-limited.
+		s.Volume = unit.ByteSize(rng.LogNormalMedian(1.5e6, 0.9))
+		s.Cap = unit.MbpsOf(1)
+	case AppTorrent:
+		// Long-lived swarm sessions that saturate most of the line.
+		durSec := rng.LogNormalMedian(45*60, 0.6)
+		util := 0.6 + 0.35*rng.Float64()
+		rate := unit.Bitrate(util) * g.Capacity
+		s.Cap = rate
+		s.Volume = unit.VolumeAt(rate, durSec)
+	}
+	if s.Volume < 1 {
+		s.Volume = 1
+	}
+	return s
+}
+
+// videoBitrate draws an adaptive-streaming bitrate: capacity-limited below
+// the appetite ceiling (the mechanical capacity→demand causal arrow), and
+// appetite-limited above it (the diminishing-returns knee).
+func (g *Generator) videoBitrate(rng *randx.Source) unit.Bitrate {
+	ceiling := g.videoCeiling
+	// Session-level variation: not every stream is the household's best
+	// screen.
+	b := ceiling * unit.Bitrate(rng.LogNormalMedian(1, 0.35))
+	if lim := g.Capacity * 8 / 10; b > lim {
+		b = lim
+	}
+	if b < unit.KbpsOf(200) {
+		b = unit.KbpsOf(200) // lowest rung of the adaptation ladder
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Archetype is a household application-mix category — the user
+// heterogeneity the paper's Sec. 10 names as future work ("gamers,
+// shoppers or movie-watchers"). Archetype weights are chosen so the
+// population mixture reproduces the balanced mix the calibration anchors
+// assume.
+type Archetype int
+
+// The modeled household categories.
+const (
+	// Balanced is the calibration-reference mix.
+	Balanced Archetype = iota
+	// Browser households are web-dominated light users.
+	Browser
+	// Streamer households are video-dominated ("movie-watchers").
+	Streamer
+	// Downloader households move bulk content (and skew BitTorrent).
+	Downloader
+	// Gamer households add frequent small updates and are the most
+	// latency-sensitive category.
+	Gamer
+	numArchetypes
+)
+
+// String names the archetype.
+func (a Archetype) String() string {
+	switch a {
+	case Balanced:
+		return "balanced"
+	case Browser:
+		return "browser"
+	case Streamer:
+		return "streamer"
+	case Downloader:
+		return "downloader"
+	case Gamer:
+		return "gamer"
+	default:
+		return fmt.Sprintf("Archetype(%d)", int(a))
+	}
+}
+
+// Archetypes lists all categories.
+func Archetypes() []Archetype {
+	return []Archetype{Balanced, Browser, Streamer, Downloader, Gamer}
+}
+
+// ArchetypeShares is the population mixture; it is constructed so the
+// weighted application mix equals the Balanced mix (keeping aggregate
+// calibration intact while adding within-population heterogeneity).
+var ArchetypeShares = map[Archetype]float64{
+	Balanced:   0.40,
+	Browser:    0.20,
+	Streamer:   0.20,
+	Downloader: 0.10,
+	Gamer:      0.10,
+}
+
+// appMix is a session-type weight vector ordered as sessionMix.
+type appMix [4]float64 // web, video, bulk, background
+
+var archetypeMixes = map[Archetype]appMix{
+	Balanced:   {0.52, 0.18, 0.10, 0.20},
+	Browser:    {0.70, 0.08, 0.05, 0.17},
+	Streamer:   {0.38, 0.38, 0.06, 0.18},
+	Downloader: {0.40, 0.10, 0.32, 0.18},
+	Gamer:      {0.50, 0.10, 0.12, 0.28},
+}
+
+// mixFor returns the session-type weights of an archetype.
+func mixFor(a Archetype) appMix {
+	if m, ok := archetypeMixes[a]; ok {
+		return m
+	}
+	return archetypeMixes[Balanced]
+}
+
+// archetypeQoE is an additional, category-specific quality sensitivity on
+// top of the population QoEFactor: gamers abandon high-latency lines far
+// more readily; streamers are a bit more loss-sensitive (rebuffering).
+func archetypeQoE(a Archetype, q Quality) float64 {
+	switch a {
+	case Gamer:
+		if q.RTT > 0.08 {
+			return math.Max(0.45, 0.65+0.35/(1+math.Pow(q.RTT/0.25, 2)))
+		}
+	case Streamer:
+		if l := float64(q.Loss); l > 0.002 {
+			return math.Max(0.6, 0.75+0.25/(1+l/0.01))
+		}
+	}
+	return 1
+}

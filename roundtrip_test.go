@@ -1,0 +1,41 @@
+package broadband_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	broadband "github.com/nwca/broadband"
+)
+
+// TestCSVRoundTripPreservesAnalyses checks the bbgen → bbrepro contract:
+// an experiment computed on a freshly generated world and on the same world
+// after a CSV save/load cycle must report identical results.
+func TestCSVRoundTripPreservesAnalyses(t *testing.T) {
+	world := apiTestWorld(t)
+	dir := filepath.Join(t.TempDir(), "rt")
+	if err := world.Data.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := broadband.LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Users) != len(world.Data.Users) || len(loaded.Switches) != len(world.Data.Switches) {
+		t.Fatalf("round trip changed sizes: %d/%d users, %d/%d switches",
+			len(loaded.Users), len(world.Data.Users), len(loaded.Switches), len(world.Data.Switches))
+	}
+	for _, id := range []string{"Table 1", "Fig. 1", "Fig. 10", "Table 5"} {
+		orig, err := broadband.Run(id, &world.Data, 9)
+		if err != nil {
+			t.Fatalf("%s on original: %v", id, err)
+		}
+		back, err := broadband.Run(id, loaded, 9)
+		if err != nil {
+			t.Fatalf("%s on loaded: %v", id, err)
+		}
+		if orig.Render() != back.Render() {
+			t.Errorf("%s differs after CSV round trip:\n--- original ---\n%s--- loaded ---\n%s",
+				id, orig.Render(), back.Render())
+		}
+	}
+}
