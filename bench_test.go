@@ -108,6 +108,70 @@ func BenchmarkWorldGeneration(b *testing.B) {
 	}
 }
 
+// benchBuildWorldWorkers measures world generation at a fixed worker count;
+// output is byte-identical across counts, so the benches differ only in
+// wall-clock.
+func benchBuildWorldWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		w, err := synth.Build(synth.Config{
+			Seed: uint64(i + 1), Users: 600, FCCUsers: 120, Days: 1,
+			SwitchTarget: 60, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(w.Data.Users) == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+// BenchmarkBuildWorldSequential pins the Workers=1 baseline.
+func BenchmarkBuildWorldSequential(b *testing.B) { benchBuildWorldWorkers(b, 1) }
+
+// BenchmarkBuildWorldParallel uses the full GOMAXPROCS pool.
+func BenchmarkBuildWorldParallel(b *testing.B) { benchBuildWorldWorkers(b, 0) }
+
+// BenchmarkRunAllParallel measures the full registry fan-out against the
+// shared bench world at the default worker count.
+func BenchmarkRunAllParallel(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broadband.RunAllWorkers(d, uint64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMatcher measures the windowed nearest-neighbor matcher on synthetic
+// covariates at a given population size (treated = n, control = 2n).
+func benchMatcher(b *testing.B, n int) {
+	rng := randx.New(uint64(n))
+	mk := func(count int, idBase int64) []*dataset.User {
+		us := make([]*dataset.User, count)
+		for i := range us {
+			us[i] = &dataset.User{
+				ID:   idBase + int64(i),
+				RTT:  0.01 + 0.2*rng.Float64(),
+				Loss: unit.LossRate(0.002 * rng.Float64()),
+			}
+		}
+		return us
+	}
+	treated := mk(n, 1)
+	control := mk(2*n, int64(10*n))
+	m := core.Matcher{Confounders: []core.Confounder{core.ConfounderRTT(), core.ConfounderLoss()}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(treated, control, randx.New(uint64(i)))
+	}
+}
+
+func BenchmarkMatcher200(b *testing.B)  { benchMatcher(b, 200) }
+func BenchmarkMatcher1000(b *testing.B) { benchMatcher(b, 1000) }
+func BenchmarkMatcher5000(b *testing.B) { benchMatcher(b, 5000) }
+
 // --- Ablation benches (design choices called out in DESIGN.md §4) ---
 
 // benchCaliper runs the capacity matching experiment at a given caliper

@@ -33,6 +33,7 @@ import (
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/experiments"
 	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/par"
 	"github.com/nwca/broadband/internal/randx"
 	"github.com/nwca/broadband/internal/synth"
 	"github.com/nwca/broadband/internal/unit"
@@ -161,16 +162,31 @@ func Run(id string, d *Dataset, seed uint64) (Report, error) {
 	return e.Run(d, randx.New(seed).Split(id))
 }
 
-// RunAll executes every reproduction in order, returning the reports. The
-// first error aborts.
+// RunAll executes every reproduction, returning the reports in registry
+// order. The first error (in registry order) aborts: reports preceding it
+// are returned alongside the error. Experiments run concurrently across
+// runtime.GOMAXPROCS(0) workers; each seeds its own RNG from (seed, ID), so
+// results are identical to a sequential run.
 func RunAll(d *Dataset, seed uint64) ([]Report, error) {
-	var out []Report
-	for _, e := range experiments.Registry() {
-		rep, err := e.Run(d, randx.New(seed).Split(e.ID))
-		if err != nil {
-			return out, fmt.Errorf("broadband: %s: %w", e.ID, err)
+	return RunAllWorkers(d, seed, 0)
+}
+
+// RunAllWorkers is RunAll with an explicit worker-pool bound. workers <= 0
+// selects runtime.GOMAXPROCS(0); 1 forces fully sequential execution.
+func RunAllWorkers(d *Dataset, seed uint64, workers int) ([]Report, error) {
+	entries := experiments.Registry()
+	reports := make([]Report, len(entries))
+	errs := make([]error, len(entries))
+	_ = par.ForN(par.Workers(workers), len(entries), func(i int) error {
+		reports[i], errs[i] = entries[i].Run(d, randx.New(seed).Split(entries[i].ID))
+		return errs[i]
+	})
+	out := make([]Report, 0, len(entries))
+	for i, e := range entries {
+		if errs[i] != nil {
+			return out, fmt.Errorf("broadband: %s: %w", e.ID, errs[i])
 		}
-		out = append(out, rep)
+		out = append(out, reports[i])
 	}
 	return out, nil
 }

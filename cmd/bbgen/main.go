@@ -28,6 +28,7 @@ func main() {
 		switches = flag.Int("switches", 2000, "service-upgrade records")
 		minPer   = flag.Int("min-per-country", 30, "minimum primary-year users per country")
 		ndt      = flag.Bool("ndt", false, "measure every line with the packet-level simulator (slow)")
+		workers  = flag.Int("workers", 0, "concurrent generation workers (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 		Days:          *days,
 		SwitchTarget:  *switches,
 		MinPerCountry: *minPer,
+		Workers:       *workers,
 	}
 	if *ndt {
 		cfg.Measurement = broadband.MeasureNDT
@@ -48,6 +50,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bbgen: %v\n", err)
 		os.Exit(1)
+	}
+	if n := world.SkippedHouseholds(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bbgen: %d households skipped (no affordable plan after every redraw)\n", n)
 	}
 	if err := world.Data.SaveDir(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "bbgen: %v\n", err)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	broadband "github.com/nwca/broadband"
+	"github.com/nwca/broadband/internal/par"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		list     = flag.Bool("list", false, "list artifacts and exit")
 		dataDir  = flag.String("data", "", "analyze a dataset directory written by bbgen instead of generating a world")
 		ext      = flag.Bool("ext", false, "also run the extension analyses (beyond the paper's artifacts)")
+		workers  = flag.Int("workers", 0, "concurrent workers for generation and experiments (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -62,10 +64,14 @@ func main() {
 			Days:          *days,
 			SwitchTarget:  *switches,
 			MinPerCountry: *minPer,
+			Workers:       *workers,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
 			os.Exit(1)
+		}
+		if n := world.SkippedHouseholds(); n > 0 {
+			fmt.Fprintf(os.Stderr, "bbrepro: %d households skipped (no affordable plan after every redraw)\n", n)
 		}
 		data = &world.Data
 	}
@@ -86,12 +92,27 @@ func main() {
 	if *ext {
 		entries = append(entries, broadband.ExtensionExperiments()...)
 	}
-	for _, e := range entries {
-		rep, err := broadband.Run(e.ID, data, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bbrepro: %s: %v\n", e.ID, err)
+	// Fan the artifacts out over the worker pool; results are collected by
+	// index so the printed order matches the registry whatever the worker
+	// interleaving. Every failure is reported (not just the first) and any
+	// failure makes the run exit non-zero.
+	reports := make([]broadband.Report, len(entries))
+	errs := make([]error, len(entries))
+	_ = par.ForN(par.Workers(*workers), len(entries), func(i int) error {
+		reports[i], errs[i] = broadband.Run(entries[i].ID, data, *seed)
+		return errs[i]
+	})
+	failed := 0
+	for i, e := range entries {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %s: %v\n", e.ID, errs[i])
+			failed++
 			continue
 		}
-		fmt.Println(rep.Render())
+		fmt.Println(reports[i].Render())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bbrepro: %d of %d artifacts failed\n", failed, len(entries))
+		os.Exit(1)
 	}
 }

@@ -99,16 +99,53 @@ func (m Matcher) distance(a, b *dataset.User, caliper float64) (float64, bool) {
 	return total, true
 }
 
+// MatchStats reports the work the matcher did — the diagnostic behind the
+// sort-plus-binary-search caliper window (the O(T·C) scan this replaces
+// examined every control for every treated user).
+type MatchStats struct {
+	// Treated is the number of treated users processed.
+	Treated int
+	// CandidatesExamined counts control candidates whose full confounder
+	// distance was evaluated, across all treated users.
+	CandidatesExamined int
+	// DroppedByCaliper counts examined candidates rejected because some
+	// confounder fell outside the caliper band.
+	DroppedByCaliper int
+	// Unmatched counts treated users that found no eligible control.
+	Unmatched int
+	// WindowFallbacks counts treated users whose scan could not be narrowed
+	// (caliper >= 1 or no confounders) and examined every control.
+	WindowFallbacks int
+}
+
 // Match pairs each treated user with its nearest eligible control, greedily
 // and without replacement. Treated users with no eligible control are
 // dropped (the caliper's purpose). The iteration order is randomized by rng
 // so greedy choices carry no dataset-order bias; pass nil for deterministic
 // input order.
 func (m Matcher) Match(treated, control []*dataset.User, rng *randx.Source) []Pair {
+	pairs, _ := m.MatchWithStats(treated, control, rng)
+	return pairs
+}
+
+// MatchWithStats is Match plus work diagnostics.
+//
+// Controls are sorted once by the first confounder; each treated user then
+// scans only the window of controls that can possibly satisfy that
+// confounder's caliper. From |a−b| ≤ caliper·max(|a|,|b|) + floor and
+// max(|a|,|b|) ≤ |a| + |a−b| follows |a−b| ≤ (caliper·|a| + floor)/(1−caliper),
+// so the window [v−r, v+r] with r = (caliper·|v| + floor)/(1−caliper) is a
+// superset of the eligible controls whenever caliper < 1. Candidates inside
+// the window still pass through the exact per-confounder distance check,
+// and ties in distance resolve to the lowest original control index — the
+// order the full scan would have found them in — so the selected pairs are
+// identical to the O(T·C) algorithm's.
+func (m Matcher) MatchWithStats(treated, control []*dataset.User, rng *randx.Source) ([]Pair, MatchStats) {
 	caliper := m.Caliper
 	if caliper <= 0 {
 		caliper = DefaultCaliper
 	}
+	stats := MatchStats{Treated: len(treated)}
 	order := make([]int, len(treated))
 	for i := range order {
 		order[i] = i
@@ -116,21 +153,72 @@ func (m Matcher) Match(treated, control []*dataset.User, rng *randx.Source) []Pa
 	if rng != nil {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
+
+	// Sorted view of the controls on the first confounder. The sort is by
+	// (value, original index), so window scans visit candidates in a
+	// deterministic order whatever sort.Slice does with equal values.
+	windowed := len(m.Confounders) > 0 && caliper < 1
+	var first Confounder
+	var ctlVals []float64 // control value on the first confounder, by sorted position
+	var ctlIdx []int      // original control index, by sorted position
+	if windowed {
+		first = m.Confounders[0]
+		ctlVals = make([]float64, len(control))
+		ctlIdx = make([]int, len(control))
+		for i := range control {
+			ctlIdx[i] = i
+		}
+		vals := make([]float64, len(control))
+		for i, c := range control {
+			vals[i] = first.Value(c)
+		}
+		sort.Slice(ctlIdx, func(a, b int) bool {
+			va, vb := vals[ctlIdx[a]], vals[ctlIdx[b]]
+			if va != vb {
+				return va < vb
+			}
+			return ctlIdx[a] < ctlIdx[b]
+		})
+		for i, ci := range ctlIdx {
+			ctlVals[i] = vals[ci]
+		}
+	}
+
 	used := make([]bool, len(control))
 	var pairs []Pair
 	for _, ti := range order {
 		t := treated[ti]
+		lo, hi := 0, len(control)
+		if windowed {
+			v := first.Value(t)
+			r := (caliper*math.Abs(v) + first.Floor) / (1 - caliper)
+			lo = sort.SearchFloat64s(ctlVals, v-r)
+			hi = sort.SearchFloat64s(ctlVals, v+r)
+			// SearchFloat64s finds the first value >= v+r; values equal to
+			// the bound are still admissible candidates.
+			for hi < len(ctlVals) && ctlVals[hi] == v+r {
+				hi++
+			}
+		} else {
+			stats.WindowFallbacks++
+		}
 		best := -1
 		bestDist := math.Inf(1)
-		for ci, c := range control {
+		for k := lo; k < hi; k++ {
+			ci := k
+			if windowed {
+				ci = ctlIdx[k]
+			}
 			if used[ci] {
 				continue
 			}
-			d, ok := m.distance(t, c, caliper)
+			stats.CandidatesExamined++
+			d, ok := m.distance(t, control[ci], caliper)
 			if !ok {
+				stats.DroppedByCaliper++
 				continue
 			}
-			if d < bestDist {
+			if d < bestDist || (d == bestDist && ci < best) {
 				bestDist = d
 				best = ci
 			}
@@ -138,11 +226,13 @@ func (m Matcher) Match(treated, control []*dataset.User, rng *randx.Source) []Pa
 		if best >= 0 {
 			used[best] = true
 			pairs = append(pairs, Pair{Treated: t, Control: control[best]})
+		} else {
+			stats.Unmatched++
 		}
 	}
 	// Stable output order (by treated user ID) regardless of shuffle.
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Treated.ID < pairs[j].Treated.ID })
-	return pairs
+	return pairs, stats
 }
 
 // Balance summarizes covariate balance of a matched set: for each

@@ -1,0 +1,70 @@
+// Package par provides the deterministic fan-out primitive the pipeline
+// parallelizes with: run an indexed set of independent tasks over a bounded
+// worker pool, collecting results by index so callers can merge them in
+// canonical order. Determinism is the contract — callers write results into
+// index i of a preallocated slice, so the observable output is identical
+// whatever the worker count or scheduling order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values above zero are taken as-is,
+// anything else selects runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForN runs fn(i) for every i in [0, n) across at most workers goroutines.
+// Every index runs exactly once; fn must write its result into caller-owned
+// storage at index i. All indices are executed even when some fail, and the
+// returned error is the lowest-indexed one — the same error a sequential
+// loop that ran to completion would pick, so error reporting is independent
+// of scheduling. workers <= 1 (or n <= 1) degrades to a plain loop on the
+// calling goroutine.
+func ForN(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit worker count not honored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-2) != runtime.GOMAXPROCS(0) {
+		t.Error("non-positive counts should resolve to GOMAXPROCS")
+	}
+}
+
+func TestForNRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 153
+		counts := make([]atomic.Int32, n)
+		if err := ForN(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForNReturnsLowestIndexedError(t *testing.T) {
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 4} {
+		err := ForN(workers, 100, func(i int) error {
+			switch i {
+			case 17:
+				return errLow
+			case 80:
+				return fmt.Errorf("high")
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want the lowest-indexed error", workers, err)
+		}
+	}
+}
+
+func TestForNEmpty(t *testing.T) {
+	if err := ForN(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Error("n=0 must not invoke fn")
+	}
+}

@@ -19,7 +19,7 @@ func testWorld(t *testing.T) *World {
 	t.Helper()
 	testWorldOnce.Do(func() {
 		testWorldVal, testWorldErr = Build(Config{
-			Seed: 11, Users: 1200, FCCUsers: 250, Days: 2,
+			Seed: 15, Users: 1200, FCCUsers: 250, Days: 2,
 			SwitchTarget: 150, MinPerCountry: 8,
 		})
 	})

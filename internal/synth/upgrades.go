@@ -6,6 +6,7 @@ import (
 
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/par"
 	"github.com/nwca/broadband/internal/traffic"
 	"github.com/nwca/broadband/internal/unit"
 )
@@ -35,19 +36,45 @@ func (g *generator) upgrades() error {
 		}
 	}
 	order := g.rng.Split("switch-order").Perm(len(candidates))
+
+	// Each tryUpgrade is a pure function of its candidate (the RNG splits
+	// on the user ID), so candidates are evaluated concurrently in
+	// permutation-ordered chunks and successes taken in order until the
+	// target is met. The selected switch set is exactly the sequential
+	// prefix — chunking only bounds the speculative evaluations past the
+	// last accepted candidate — so output is identical for any Workers.
+	type switchResult struct {
+		sw dataset.Switch
+		ok bool
+	}
+	workers := par.Workers(g.cfg.Workers)
+	chunk := 4 * workers
+	if chunk < 16 {
+		chunk = 16
+	}
 	made := 0
-	for _, idx := range order {
-		if made >= g.cfg.SwitchTarget {
-			break
+	for lo := 0; lo < len(order) && made < g.cfg.SwitchTarget; lo += chunk {
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
 		}
-		u := candidates[idx]
-		sw, ok, err := g.tryUpgrade(u)
+		results := make([]switchResult, hi-lo)
+		err := par.ForN(workers, hi-lo, func(i int) error {
+			sw, ok, err := g.tryUpgrade(candidates[order[lo+i]])
+			results[i] = switchResult{sw: sw, ok: ok}
+			return err
+		})
 		if err != nil {
 			return err
 		}
-		if ok {
-			g.world.Data.Switches = append(g.world.Data.Switches, sw)
-			made++
+		for _, r := range results {
+			if made >= g.cfg.SwitchTarget {
+				break
+			}
+			if r.ok {
+				g.world.Data.Switches = append(g.world.Data.Switches, r.sw)
+				made++
+			}
 		}
 	}
 	return nil

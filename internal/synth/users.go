@@ -6,6 +6,7 @@ import (
 
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/par"
 	"github.com/nwca/broadband/internal/randx"
 	"github.com/nwca/broadband/internal/traffic"
 	"github.com/nwca/broadband/internal/unit"
@@ -25,17 +26,53 @@ const headroom = 1.85
 const incomeRef = 49797.0
 
 type generator struct {
-	cfg    Config
-	world  *World
-	rng    *randx.Source
-	nextID int64
+	cfg   Config
+	world *World
+	rng   *randx.Source
 }
 
-// populate generates every yearly cohort of the Dasu panel plus the US
-// gateway panel.
-func (g *generator) populate() error {
+// maxAffordAttempts bounds the household redraws per user slot. It is also
+// the ID stride: slot j owns the deterministic ID range
+// [1+j·maxAffordAttempts, 1+(j+1)·maxAffordAttempts), so every draw is a
+// pure function of the world seed and the slot position — the property that
+// lets slots generate concurrently with byte-identical output.
+const maxAffordAttempts = 12
+
+// userSlot is one unit of generation work: a single household of a
+// (year, country, vantage) cohort with its precomputed ID range.
+type userSlot struct {
+	prof      market.Profile
+	year      int
+	needScale float64
+	vantage   dataset.Vantage
+	baseID    int64
+}
+
+// slotResult is what one slot produced: a subscriber, or nothing (the
+// market priced every redraw out).
+type slotResult struct {
+	user  *dataset.User
+	truth GroundTruth
+}
+
+// slots lays out every user slot of the world in canonical order: yearly
+// Dasu cohorts (years in config order, countries in profile order), then
+// the US gateway panel. The layout is a pure function of the config, so
+// cohort ID ranges are known before any user is generated.
+func (g *generator) slots() ([]userSlot, error) {
 	years := g.cfg.Years
 	primary := years[len(years)-1]
+	var slots []userSlot
+	nextBase := int64(1)
+	add := func(prof market.Profile, year int, needScale float64, vantage dataset.Vantage, n int) {
+		for i := 0; i < n; i++ {
+			slots = append(slots, userSlot{
+				prof: prof, year: year, needScale: needScale,
+				vantage: vantage, baseID: nextBase,
+			})
+			nextBase += maxAffordAttempts
+		}
+	}
 	for _, year := range years {
 		// Earlier cohorts are smaller (subscriber growth) and carry lower
 		// latent need (traffic growth).
@@ -49,23 +86,43 @@ func (g *generator) populate() error {
 		}
 		counts := countryCounts(g.cfg.Profiles, total, minPer)
 		for _, prof := range g.cfg.Profiles {
-			n := counts[prof.Country.Code]
-			for i := 0; i < n; i++ {
-				if err := g.addUser(prof, year, needScale, dataset.VantageDasu); err != nil {
-					return err
-				}
-			}
+			add(prof, year, needScale, dataset.VantageDasu, counts[prof.Country.Code])
 		}
 	}
 	// The gateway (FCC) panel: US-only, primary year, uniform sampling.
 	usProf, ok := findProfile(g.cfg.Profiles, "US")
 	if !ok {
-		return fmt.Errorf("synth: gateway panel needs a US profile")
+		return nil, fmt.Errorf("synth: gateway panel needs a US profile")
 	}
-	for i := 0; i < g.cfg.FCCUsers; i++ {
-		if err := g.addUser(usProf, primary, 1, dataset.VantageGateway); err != nil {
-			return err
+	add(usProf, primary, 1, dataset.VantageGateway, g.cfg.FCCUsers)
+	return slots, nil
+}
+
+// populate generates every yearly cohort of the Dasu panel plus the US
+// gateway panel, fanning the precomputed slots out over the worker pool and
+// merging results in canonical slot order.
+func (g *generator) populate() error {
+	slots, err := g.slots()
+	if err != nil {
+		return err
+	}
+	results := make([]slotResult, len(slots))
+	err = par.ForN(par.Workers(g.cfg.Workers), len(slots), func(i int) error {
+		r, err := g.generateSlot(slots[i])
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	g.world.Skipped = make(map[string]int)
+	for i := range results {
+		if results[i].user == nil {
+			g.world.Skipped[slots[i].prof.Country.Code]++
+			continue
 		}
+		g.world.Data.Users = append(g.world.Data.Users, *results[i].user)
+		g.world.Truth[results[i].user.ID] = results[i].truth
 	}
 	return nil
 }
@@ -79,15 +136,18 @@ func findProfile(profiles []market.Profile, code string) (market.Profile, bool) 
 	return market.Profile{}, false
 }
 
-// addUser draws one subscriber: economy → plan choice → line quality →
+// generateSlot draws one subscriber: economy → plan choice → line quality →
 // measurement → usage. Households that cannot afford any plan are redrawn
 // (the offline population simply never enters a measurement panel); after
-// a bounded number of attempts the country contributes fewer users.
-func (g *generator) addUser(prof market.Profile, year int, needScale float64, vantage dataset.Vantage) error {
+// a bounded number of attempts the slot stays empty and the shortfall is
+// recorded in World.Skipped. The draw depends only on the world seed and
+// the slot's ID range, never on other slots, so it is safe to run
+// concurrently against the read-only catalogs and market summaries.
+func (g *generator) generateSlot(s userSlot) (slotResult, error) {
+	prof, year, needScale, vantage := s.prof, s.year, s.needScale, s.vantage
 	cat := g.world.Catalogs[prof.Country.Code]
-	for attempt := 0; attempt < 12; attempt++ {
-		g.nextID++
-		id := g.nextID
+	for attempt := 0; attempt < maxAffordAttempts; attempt++ {
+		id := s.baseID + int64(attempt)
 		rng := g.rng.SplitN("user", int(id))
 
 		// Availability friction: a share of households can only buy what
@@ -117,13 +177,11 @@ func (g *generator) addUser(prof market.Profile, year int, needScale float64, va
 
 		u, err := g.realizeUser(id, prof, year, vantage, plan, &truth, rng)
 		if err != nil {
-			return err
+			return slotResult{}, err
 		}
-		g.world.Data.Users = append(g.world.Data.Users, *u)
-		g.world.Truth[id] = truth
-		return nil
+		return slotResult{user: u, truth: truth}, nil
 	}
-	return nil // market too expensive for this draw sequence; skip silently
+	return slotResult{}, nil // market too expensive for this draw sequence: a skipped household
 }
 
 // needIncomeCorr couples latent demand to household income: wealthier

@@ -9,6 +9,7 @@ package synth
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/market"
@@ -63,6 +64,12 @@ type Config struct {
 	// DisableQoE severs the quality→demand causal arrow: an ablation world
 	// in which the latency/loss experiments must come out null.
 	DisableQoE bool
+	// Workers bounds the number of concurrent generation workers. Zero or
+	// negative selects runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	// Generation is deterministic in Seed whatever the value: every user
+	// slot owns a precomputed ID range, so the output is byte-identical
+	// across worker counts.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +118,22 @@ type World struct {
 	// Truth holds per-user latent variables (keyed by user ID) that no
 	// real study could observe; placebo and recovery tests read them.
 	Truth map[int64]GroundTruth
+	// Skipped counts, per country code, the households that exhausted every
+	// affordability redraw without finding a plan they could pay for — the
+	// population shortfall between requested and generated panel sizes.
+	Skipped map[string]int
+}
+
+// SkippedHouseholds returns the total number of user slots that produced no
+// subscriber because the market priced every draw out. When it is nonzero,
+// len(Data.Users) falls short of the configured population by exactly this
+// amount.
+func (w *World) SkippedHouseholds() int {
+	total := 0
+	for _, n := range w.Skipped {
+		total += n
+	}
+	return total
 }
 
 // GroundTruth is the latent state of one synthetic user.
@@ -135,7 +158,15 @@ func Build(cfg Config) (*World, error) {
 		Truth:    make(map[int64]GroundTruth),
 	}
 	w.Data.Markets = make(map[string]market.MarketSummary, len(cfg.Profiles))
-	for code, cat := range w.Catalogs {
+	// Iterate catalogs in sorted country order: map order would otherwise
+	// leak into the plan-survey ordering and break run-to-run determinism.
+	codes := make([]string, 0, len(w.Catalogs))
+	for code := range w.Catalogs {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		cat := w.Catalogs[code]
 		sum, err := market.Summarize(cat)
 		if err != nil {
 			return nil, fmt.Errorf("synth: market %s: %w", code, err)
@@ -158,15 +189,47 @@ func Build(cfg Config) (*World, error) {
 }
 
 // countryCounts allocates a population across countries proportionally to
-// profile weights, flooring at minPer.
+// profile weights by largest-remainder apportionment, so the counts sum to
+// exactly total; the minPer floor is applied afterwards and is the only way
+// the sum can exceed the target.
 func countryCounts(profiles []market.Profile, total, minPer int) map[string]int {
 	sum := 0.0
 	for _, p := range profiles {
-		sum += p.UserWeight
+		if p.UserWeight > 0 {
+			sum += p.UserWeight
+		}
+	}
+	if total < 0 {
+		total = 0
+	}
+	alloc := make([]int, len(profiles))
+	if sum > 0 && total > 0 {
+		frac := make([]float64, len(profiles))
+		given := 0
+		for i, p := range profiles {
+			if p.UserWeight <= 0 {
+				continue
+			}
+			exact := float64(total) * p.UserWeight / sum
+			alloc[i] = int(math.Floor(exact))
+			frac[i] = exact - float64(alloc[i])
+			given += alloc[i]
+		}
+		// Hand the integer shortfall to the largest fractional remainders;
+		// the stable sort breaks ties by profile order, keeping the
+		// apportionment deterministic.
+		order := make([]int, len(profiles))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return frac[order[a]] > frac[order[b]] })
+		for k := 0; k < total-given; k++ {
+			alloc[order[k]]++
+		}
 	}
 	out := make(map[string]int, len(profiles))
-	for _, p := range profiles {
-		n := int(math.Round(float64(total) * p.UserWeight / sum))
+	for i, p := range profiles {
+		n := alloc[i]
 		if n < minPer {
 			n = minPer
 		}
