@@ -28,6 +28,7 @@ package broadband
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/nwca/broadband/internal/core"
 	"github.com/nwca/broadband/internal/dataset"
@@ -133,10 +134,58 @@ func Mbps(v float64) Bitrate { return unit.MbpsOf(v) }
 // configuration. Generation is deterministic in cfg.Seed.
 func BuildWorld(cfg WorldConfig) (*World, error) { return synth.Build(cfg) }
 
-// LoadDataset reads a dataset previously written with Dataset.SaveDir
-// (users.csv, switches.csv, plans.csv), rebuilding market summaries from
-// the plan survey.
+// LoadDataset reads a dataset previously written with Dataset.SaveDir or
+// SaveDataset (users.csv, switches.csv, plans.csv — plain or .gz),
+// rebuilding market summaries from the plan survey. Tables stream through
+// the record-at-a-time readers, so load memory is the dataset itself, not
+// a second parsed copy.
 func LoadDataset(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
+
+// SaveOptions tunes SaveDataset: gzip transport (.csv.gz) and the sharded
+// parallel encoder's worker count (output bytes are identical for every
+// worker count).
+type SaveOptions = dataset.SaveOptions
+
+// SaveDataset writes d under dir as users.csv, switches.csv and plans.csv
+// (or .csv.gz when opts.Gzip is set).
+func SaveDataset(d *Dataset, dir string, opts SaveOptions) error {
+	return d.SaveDirWith(dir, opts)
+}
+
+// Streaming dataset access: record-at-a-time readers and writers with
+// constant per-row memory, for pipelines whose worlds do not fit in RAM.
+type (
+	// UserReader iterates a users CSV; Read returns io.EOF at the end.
+	UserReader = dataset.UserReader
+	// UserWriter streams user rows to CSV.
+	UserWriter = dataset.UserWriter
+	// SwitchReader iterates a switches CSV.
+	SwitchReader = dataset.SwitchReader
+	// SwitchWriter streams switch rows to CSV.
+	SwitchWriter = dataset.SwitchWriter
+	// PlanReader iterates a plan-survey CSV.
+	PlanReader = dataset.PlanReader
+	// PlanWriter streams plan rows to CSV.
+	PlanWriter = dataset.PlanWriter
+)
+
+// NewUserReader validates the users header and returns a streaming reader.
+func NewUserReader(r io.Reader) (*UserReader, error) { return dataset.NewUserReader(r) }
+
+// NewUserWriter writes the users header and returns a streaming writer.
+func NewUserWriter(w io.Writer) (*UserWriter, error) { return dataset.NewUserWriter(w) }
+
+// NewSwitchReader validates the switches header and returns a streaming reader.
+func NewSwitchReader(r io.Reader) (*SwitchReader, error) { return dataset.NewSwitchReader(r) }
+
+// NewSwitchWriter writes the switches header and returns a streaming writer.
+func NewSwitchWriter(w io.Writer) (*SwitchWriter, error) { return dataset.NewSwitchWriter(w) }
+
+// NewPlanReader validates the plans header and returns a streaming reader.
+func NewPlanReader(r io.Reader) (*PlanReader, error) { return dataset.NewPlanReader(r) }
+
+// NewPlanWriter writes the plans header and returns a streaming writer.
+func NewPlanWriter(w io.Writer) (*PlanWriter, error) { return dataset.NewPlanWriter(w) }
 
 // DefaultMarkets returns the built-in market profiles (a fresh copy; safe
 // to mutate for ablation studies).

@@ -29,6 +29,7 @@ func main() {
 		minPer   = flag.Int("min-per-country", 30, "minimum primary-year users per country")
 		ndt      = flag.Bool("ndt", false, "measure every line with the packet-level simulator (slow)")
 		workers  = flag.Int("workers", 0, "concurrent generation workers (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		gz       = flag.Bool("gzip", false, "write gzip-compressed CSVs (users.csv.gz etc.; bbrepro -data reads either)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 	if n := world.SkippedHouseholds(); n > 0 {
 		fmt.Fprintf(os.Stderr, "bbgen: %d households skipped (no affordable plan after every redraw)\n", n)
 	}
-	if err := world.Data.SaveDir(*out); err != nil {
+	if err := broadband.SaveDataset(&world.Data, *out, broadband.SaveOptions{Gzip: *gz, Workers: *workers}); err != nil {
 		fmt.Fprintf(os.Stderr, "bbgen: %v\n", err)
 		os.Exit(1)
 	}

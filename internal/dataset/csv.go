@@ -1,7 +1,8 @@
 package dataset
 
 import (
-	"encoding/csv"
+	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -15,7 +16,14 @@ import (
 
 // CSV serialization. Rates are stored in Mbps, latencies in milliseconds,
 // loss in percent and money in USD PPP — the units a human inspecting the
-// files (or loading them into an external analysis tool) expects.
+// files (or loading them into an external analysis tool) expects. Floats
+// are written in shortest lossless form (strconv 'g', precision -1), so a
+// save → load cycle reproduces every float64 bit-for-bit and a second save
+// emits byte-identical files.
+//
+// The slice-based functions below are thin wrappers over the streaming
+// readers/writers in stream.go; worlds too large to materialize go through
+// those iterators directly.
 
 var userHeader = []string{
 	"id", "country", "vantage", "year", "isp", "network",
@@ -27,89 +35,61 @@ var userHeader = []string{
 
 // WriteUsers streams users as CSV.
 func WriteUsers(w io.Writer, users []User) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(userHeader); err != nil {
-		return err
-	}
-	for i := range users {
-		u := &users[i]
-		rec := []string{
-			strconv.FormatInt(u.ID, 10),
-			u.Country,
-			strconv.Itoa(int(u.Vantage)),
-			strconv.Itoa(u.Year),
-			u.ISP,
-			u.NetworkKey,
-			f(u.PlanDown.Mbps()), f(u.PlanUp.Mbps()), f(u.PlanPrice.Dollars()),
-			strconv.Itoa(int(u.PlanTech)), f(u.PlanCap.GB()),
-			f(u.Capacity.Mbps()), f(u.UpCapacity.Mbps()),
-			f(u.RTT * 1000), f(u.WebRTT * 1000), f(u.Loss.Percent()),
-			f(u.Usage.Mean.Mbps()), f(u.Usage.Peak.Mbps()),
-			f(u.Usage.MeanNoBT.Mbps()), f(u.Usage.PeakNoBT.Mbps()),
-			strconv.FormatBool(u.UsesBT), strconv.Itoa(int(u.Archetype)),
-			f(u.AccessPrice.Dollars()), f(float64(u.UpgradeCost)),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return WriteUsersParallel(w, users, 1)
 }
 
 // ReadUsers parses a users CSV produced by WriteUsers.
 func ReadUsers(r io.Reader) ([]User, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
+	ur, err := NewUserReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty users file")
+	var users []User
+	var u User
+	for {
+		switch err := ur.Read(&u); err {
+		case nil:
+			users = append(users, u)
+		case io.EOF:
+			return users, nil
+		default:
+			return nil, err
+		}
 	}
-	if err := checkHeader(rows[0], userHeader); err != nil {
-		return nil, err
+}
+
+// decodeUser maps one CSV record onto a User. The field order is the
+// mirror of encodeUser; conversion errors accumulate on p.
+func decodeUser(p *parser, u *User) {
+	rec := p.rec
+	*u = User{
+		ID:          p.i64(0),
+		Country:     rec[1],
+		Vantage:     Vantage(p.int(2)),
+		Year:        p.int(3),
+		ISP:         rec[4],
+		NetworkKey:  rec[5],
+		PlanDown:    unit.MbpsOf(p.f64(6)),
+		PlanUp:      unit.MbpsOf(p.f64(7)),
+		PlanPrice:   unit.USD(p.f64(8)),
+		PlanTech:    market.Technology(p.int(9)),
+		PlanCap:     unit.ByteSize(p.f64(10) * float64(unit.GB)),
+		Capacity:    unit.MbpsOf(p.f64(11)),
+		UpCapacity:  unit.MbpsOf(p.f64(12)),
+		RTT:         p.f64(13) / 1000,
+		WebRTT:      p.f64(14) / 1000,
+		Loss:        unit.LossFromPercent(p.f64(15)),
+		UsesBT:      p.boolAt(20),
+		Archetype:   traffic.Archetype(p.int(21)),
+		AccessPrice: unit.USD(p.f64(22)),
+		UpgradeCost: unit.PerMbps(p.f64(23)),
 	}
-	users := make([]User, 0, len(rows)-1)
-	for n, rec := range rows[1:] {
-		if len(rec) != len(userHeader) {
-			return nil, fmt.Errorf("dataset: users row %d has %d fields, want %d", n+2, len(rec), len(userHeader))
-		}
-		p := &parser{rec: rec}
-		u := User{
-			ID:          p.i64(0),
-			Country:     rec[1],
-			Vantage:     Vantage(p.int(2)),
-			Year:        p.int(3),
-			ISP:         rec[4],
-			NetworkKey:  rec[5],
-			PlanDown:    unit.MbpsOf(p.f64(6)),
-			PlanUp:      unit.MbpsOf(p.f64(7)),
-			PlanPrice:   unit.USD(p.f64(8)),
-			PlanTech:    market.Technology(p.int(9)),
-			PlanCap:     unit.ByteSize(p.f64(10) * float64(unit.GB)),
-			Capacity:    unit.MbpsOf(p.f64(11)),
-			UpCapacity:  unit.MbpsOf(p.f64(12)),
-			RTT:         p.f64(13) / 1000,
-			WebRTT:      p.f64(14) / 1000,
-			Loss:        unit.LossFromPercent(p.f64(15)),
-			UsesBT:      p.boolAt(20),
-			Archetype:   traffic.Archetype(p.int(21)),
-			AccessPrice: unit.USD(p.f64(22)),
-			UpgradeCost: unit.PerMbps(p.f64(23)),
-		}
-		u.Usage = UsageSummary{
-			Mean:     unit.MbpsOf(p.f64(16)),
-			Peak:     unit.MbpsOf(p.f64(17)),
-			MeanNoBT: unit.MbpsOf(p.f64(18)),
-			PeakNoBT: unit.MbpsOf(p.f64(19)),
-		}
-		if p.err != nil {
-			return nil, fmt.Errorf("dataset: users row %d: %w", n+2, p.err)
-		}
-		users = append(users, u)
+	u.Usage = UsageSummary{
+		Mean:     unit.MbpsOf(p.f64(16)),
+		Peak:     unit.MbpsOf(p.f64(17)),
+		MeanNoBT: unit.MbpsOf(p.f64(18)),
+		PeakNoBT: unit.MbpsOf(p.f64(19)),
 	}
-	return users, nil
 }
 
 var switchHeader = []string{
@@ -120,68 +100,48 @@ var switchHeader = []string{
 
 // WriteSwitches streams service-change records as CSV.
 func WriteSwitches(w io.Writer, switches []Switch) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(switchHeader); err != nil {
-		return err
-	}
-	for _, s := range switches {
-		rec := []string{
-			strconv.FormatInt(s.UserID, 10), s.Country, s.FromNet, s.ToNet,
-			f(s.FromDown.Mbps()), f(s.ToDown.Mbps()),
-			f(s.Before.Mean.Mbps()), f(s.Before.Peak.Mbps()),
-			f(s.Before.MeanNoBT.Mbps()), f(s.Before.PeakNoBT.Mbps()),
-			f(s.After.Mean.Mbps()), f(s.After.Peak.Mbps()),
-			f(s.After.MeanNoBT.Mbps()), f(s.After.PeakNoBT.Mbps()),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return WriteSwitchesParallel(w, switches, 1)
 }
 
 // ReadSwitches parses a switches CSV produced by WriteSwitches.
 func ReadSwitches(r io.Reader) ([]Switch, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
+	sr, err := NewSwitchReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty switches file")
-	}
-	if err := checkHeader(rows[0], switchHeader); err != nil {
-		return nil, err
-	}
-	out := make([]Switch, 0, len(rows)-1)
-	for n, rec := range rows[1:] {
-		if len(rec) != len(switchHeader) {
-			return nil, fmt.Errorf("dataset: switches row %d has %d fields, want %d", n+2, len(rec), len(switchHeader))
+	var out []Switch
+	var s Switch
+	for {
+		switch err := sr.Read(&s); err {
+		case nil:
+			out = append(out, s)
+		case io.EOF:
+			return out, nil
+		default:
+			return nil, err
 		}
-		p := &parser{rec: rec}
-		s := Switch{
-			UserID:   p.i64(0),
-			Country:  rec[1],
-			FromNet:  rec[2],
-			ToNet:    rec[3],
-			FromDown: unit.MbpsOf(p.f64(4)),
-			ToDown:   unit.MbpsOf(p.f64(5)),
-			Before: UsageSummary{
-				Mean: unit.MbpsOf(p.f64(6)), Peak: unit.MbpsOf(p.f64(7)),
-				MeanNoBT: unit.MbpsOf(p.f64(8)), PeakNoBT: unit.MbpsOf(p.f64(9)),
-			},
-			After: UsageSummary{
-				Mean: unit.MbpsOf(p.f64(10)), Peak: unit.MbpsOf(p.f64(11)),
-				MeanNoBT: unit.MbpsOf(p.f64(12)), PeakNoBT: unit.MbpsOf(p.f64(13)),
-			},
-		}
-		if p.err != nil {
-			return nil, fmt.Errorf("dataset: switches row %d: %w", n+2, p.err)
-		}
-		out = append(out, s)
 	}
-	return out, nil
+}
+
+// decodeSwitch maps one CSV record onto a Switch (mirror of encodeSwitch).
+func decodeSwitch(p *parser, s *Switch) {
+	rec := p.rec
+	*s = Switch{
+		UserID:   p.i64(0),
+		Country:  rec[1],
+		FromNet:  rec[2],
+		ToNet:    rec[3],
+		FromDown: unit.MbpsOf(p.f64(4)),
+		ToDown:   unit.MbpsOf(p.f64(5)),
+		Before: UsageSummary{
+			Mean: unit.MbpsOf(p.f64(6)), Peak: unit.MbpsOf(p.f64(7)),
+			MeanNoBT: unit.MbpsOf(p.f64(8)), PeakNoBT: unit.MbpsOf(p.f64(9)),
+		},
+		After: UsageSummary{
+			Mean: unit.MbpsOf(p.f64(10)), Peak: unit.MbpsOf(p.f64(11)),
+			MeanNoBT: unit.MbpsOf(p.f64(12)), PeakNoBT: unit.MbpsOf(p.f64(13)),
+		},
+	}
 }
 
 var planHeader = []string{
@@ -191,93 +151,120 @@ var planHeader = []string{
 
 // WritePlans streams the plan survey as CSV.
 func WritePlans(w io.Writer, plans []market.Plan) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(planHeader); err != nil {
-		return err
-	}
-	for _, p := range plans {
-		rec := []string{
-			p.Country, p.ISP,
-			f(p.Down.Mbps()), f(p.Up.Mbps()),
-			f(p.PriceLocal), f(p.PriceUSD.Dollars()),
-			f(p.Cap.GB()),
-			strconv.Itoa(int(p.Tech)),
-			strconv.FormatBool(p.Dedicated),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return WritePlansParallel(w, plans, 1)
 }
 
 // ReadPlans parses a plan survey CSV produced by WritePlans.
 func ReadPlans(r io.Reader) ([]market.Plan, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
+	pr, err := NewPlanReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: empty plans file")
-	}
-	if err := checkHeader(rows[0], planHeader); err != nil {
-		return nil, err
-	}
-	out := make([]market.Plan, 0, len(rows)-1)
-	for n, rec := range rows[1:] {
-		if len(rec) != len(planHeader) {
-			return nil, fmt.Errorf("dataset: plans row %d has %d fields, want %d", n+2, len(rec), len(planHeader))
+	var out []market.Plan
+	var pl market.Plan
+	for {
+		switch err := pr.Read(&pl); err {
+		case nil:
+			out = append(out, pl)
+		case io.EOF:
+			return out, nil
+		default:
+			return nil, err
 		}
-		p := &parser{rec: rec}
-		plan := market.Plan{
-			Country:    rec[0],
-			ISP:        rec[1],
-			Down:       unit.MbpsOf(p.f64(2)),
-			Up:         unit.MbpsOf(p.f64(3)),
-			PriceLocal: p.f64(4),
-			PriceUSD:   unit.USD(p.f64(5)),
-			Cap:        unit.ByteSize(p.f64(6) * float64(unit.GB)),
-			Tech:       market.Technology(p.int(7)),
-			Dedicated:  p.boolAt(8),
-		}
-		if p.err != nil {
-			return nil, fmt.Errorf("dataset: plans row %d: %w", n+2, p.err)
-		}
-		out = append(out, plan)
 	}
-	return out, nil
+}
+
+// decodePlan maps one CSV record onto a market.Plan (mirror of encodePlan).
+func decodePlan(p *parser, pl *market.Plan) {
+	rec := p.rec
+	*pl = market.Plan{
+		Country:    rec[0],
+		ISP:        rec[1],
+		Down:       unit.MbpsOf(p.f64(2)),
+		Up:         unit.MbpsOf(p.f64(3)),
+		PriceLocal: p.f64(4),
+		PriceUSD:   unit.USD(p.f64(5)),
+		Cap:        unit.ByteSize(p.f64(6) * float64(unit.GB)),
+		Tech:       market.Technology(p.int(7)),
+		Dedicated:  p.boolAt(8),
+	}
+}
+
+// SaveOptions tunes how SaveDirWith writes a dataset.
+type SaveOptions struct {
+	// Gzip writes users.csv.gz, switches.csv.gz and plans.csv.gz instead of
+	// the plain files. LoadDir detects either by extension.
+	Gzip bool
+	// Workers bounds the sharded parallel encoder (0 = GOMAXPROCS,
+	// 1 = sequential). Output bytes are identical for every value.
+	Workers int
 }
 
 // SaveDir writes the dataset's users, switches and plans under dir as
-// users.csv, switches.csv and plans.csv.
+// users.csv, switches.csv and plans.csv, encoding across GOMAXPROCS
+// workers (the bytes are identical to a sequential encode).
 func (d *Dataset) SaveDir(dir string) error {
+	return d.SaveDirWith(dir, SaveOptions{})
+}
+
+// SaveDirWith is SaveDir with explicit transport and parallelism options.
+// A file that fails mid-write is removed rather than left partial, and
+// every file handle is closed (and its close error checked) exactly once.
+func (d *Dataset) SaveDirWith(dir string, opts SaveOptions) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	write := func(name string, fn func(io.Writer) error) error {
-		fp, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
+		if opts.Gzip {
+			name += ".gz"
 		}
-		defer fp.Close()
-		if err := fn(fp); err != nil {
+		if err := writeTable(filepath.Join(dir, name), opts.Gzip, fn); err != nil {
 			return fmt.Errorf("dataset: writing %s: %w", name, err)
 		}
-		return fp.Close()
+		return nil
 	}
-	if err := write("users.csv", func(w io.Writer) error { return WriteUsers(w, d.Users) }); err != nil {
+	if err := write("users.csv", func(w io.Writer) error { return WriteUsersParallel(w, d.Users, opts.Workers) }); err != nil {
 		return err
 	}
-	if err := write("switches.csv", func(w io.Writer) error { return WriteSwitches(w, d.Switches) }); err != nil {
+	if err := write("switches.csv", func(w io.Writer) error { return WriteSwitchesParallel(w, d.Switches, opts.Workers) }); err != nil {
 		return err
 	}
-	return write("plans.csv", func(w io.Writer) error { return WritePlans(w, d.Plans) })
+	return write("plans.csv", func(w io.Writer) error { return WritePlansParallel(w, d.Plans, opts.Workers) })
 }
 
-// f formats a float compactly for CSV.
-func f(v float64) string { return strconv.FormatFloat(v, 'g', 9, 64) }
+// writeTable creates path and runs fn over a buffered (optionally
+// gzip-compressed) writer. The file handle is closed — and its close error
+// checked — exactly once on every path, and a file left partial by any
+// failure is removed so a later LoadDir cannot trip over it.
+func writeTable(path string, gz bool, fn func(io.Writer) error) error {
+	fp, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(fp, 1<<16)
+	var w io.Writer = bw
+	var zw *gzip.Writer
+	if gz {
+		zw = gzip.NewWriter(bw)
+		w = zw
+	}
+	err = fn(w)
+	if err == nil && zw != nil {
+		err = zw.Close()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	// One Close, its error kept only when the write itself succeeded (a
+	// write error is the root cause to report).
+	if cerr := fp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+	}
+	return err
+}
 
 func checkHeader(got, want []string) error {
 	if len(got) != len(want) {

@@ -83,3 +83,110 @@ func TestSaveDirUnwritable(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// TestLoadDirRejectsTruncatedGzip chops a compressed table mid-stream: the
+// gzip checksum can never validate, and LoadDir must report it rather than
+// return a silently short dataset.
+func TestLoadDirRejectsTruncatedGzip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "gz")
+	d := sampleDataset()
+	for _, mbps := range []float64{1, 2, 4, 8, 16} {
+		d.Plans = append(d.Plans,
+			planFor("US", mbps, 20+0.55*(mbps-1)),
+			planFor("JP", mbps, 21+0.08*(mbps-1)),
+		)
+	}
+	if err := d.SaveDirWith(dir, SaveOptions{Gzip: true}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "users.csv.gz")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("truncated gzip stream should fail to load")
+	}
+}
+
+// TestReadersRejectTrailingGarbage covers both flavors of a corrupted row:
+// an extra field (the header's count is enforced on every record) and
+// garbage appended to a numeric field.
+func TestReadersRejectTrailingGarbage(t *testing.T) {
+	var b strings.Builder
+	if err := WriteUsers(&writerTo{&b}, sampleDataset().Users); err != nil {
+		t.Fatal(err)
+	}
+	full := b.String()
+
+	lines := strings.SplitAfter(full, "\n")
+	extraField := strings.TrimSuffix(lines[1], "\n") + ",garbage\n"
+	if _, err := ReadUsers(strings.NewReader(lines[0] + extraField)); err == nil {
+		t.Error("row with an extra trailing field should fail")
+	}
+
+	garbled := strings.Replace(full, "true", "truex", 1)
+	if _, err := ReadUsers(strings.NewReader(garbled)); err == nil {
+		t.Error("field with trailing garbage should fail")
+	}
+}
+
+// TestReadersRejectReorderedHeader: all columns present but permuted must
+// be refused — silently accepting it would transpose every field.
+func TestReadersRejectReorderedHeader(t *testing.T) {
+	var b strings.Builder
+	if err := WriteUsers(&writerTo{&b}, sampleDataset().Users); err != nil {
+		t.Fatal(err)
+	}
+	full := b.String()
+	swapped := strings.Replace(full, "id,country", "country,id", 1)
+	if swapped == full {
+		t.Fatal("header swap did not apply")
+	}
+	if _, err := ReadUsers(strings.NewReader(swapped)); err == nil {
+		t.Error("reordered header should fail")
+	}
+	if _, err := NewUserReader(strings.NewReader(swapped)); err == nil {
+		t.Error("streaming reader must reject a reordered header too")
+	}
+}
+
+// TestWriteTableRemovesPartialFile: a failure mid-write must not leave a
+// truncated CSV behind for a later load to trip over.
+func TestWriteTableRemovesPartialFile(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "x.csv")
+		err := writeTable(path, gz, func(w io.Writer) error {
+			if _, err := w.Write([]byte("id,country\npartial")); err != nil {
+				return err
+			}
+			return errSink
+		})
+		if !errors.Is(err, errSink) {
+			t.Fatalf("gz=%v: writeTable returned %v, want the write error", gz, err)
+		}
+		if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+			t.Errorf("gz=%v: partial file left behind (stat: %v)", gz, serr)
+		}
+	}
+}
+
+func TestWriteTableChecksCloseOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.csv")
+	if err := writeTable(path, false, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello\n"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "hello\n" {
+		t.Errorf("writeTable flushed %q", raw)
+	}
+}

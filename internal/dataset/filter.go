@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"io"
+
 	"github.com/nwca/broadband/internal/stats"
 	"github.com/nwca/broadband/internal/unit"
 )
@@ -8,19 +10,88 @@ import (
 // Pred is a user predicate.
 type Pred func(*User) bool
 
+// matches reports whether a user satisfies every predicate — the shared
+// core of the slice-based and streaming selectors.
+func matches(u *User, preds []Pred) bool {
+	for _, p := range preds {
+		if !p(u) {
+			return false
+		}
+	}
+	return true
+}
+
 // Select returns pointers to the users satisfying every predicate.
 func Select(users []User, preds ...Pred) []*User {
 	var out []*User
-outer:
 	for i := range users {
-		for _, p := range preds {
-			if !p(&users[i]) {
-				continue outer
-			}
+		if matches(&users[i], preds) {
+			out = append(out, &users[i])
 		}
-		out = append(out, &users[i])
 	}
 	return out
+}
+
+// UserSource yields users one record at a time; Read returns io.EOF after
+// the last user. *UserReader (the streaming CSV iterator) implements it,
+// as does the in-memory adapter returned by UsersOf, so selection logic is
+// written once and runs over worlds larger than RAM.
+type UserSource interface {
+	Read(*User) error
+}
+
+// sliceUsers adapts an in-memory slice to UserSource.
+type sliceUsers struct {
+	users []User
+	i     int
+}
+
+func (s *sliceUsers) Read(u *User) error {
+	if s.i >= len(s.users) {
+		return io.EOF
+	}
+	*u = s.users[s.i]
+	s.i++
+	return nil
+}
+
+// UsersOf adapts a user slice to a UserSource.
+func UsersOf(users []User) UserSource { return &sliceUsers{users: users} }
+
+// EachUser streams src through fn, stopping at the first error. Memory is
+// constant: fn receives a pointer to a reused record and must copy what it
+// keeps.
+func EachUser(src UserSource, fn func(*User) error) error {
+	var u User
+	for {
+		switch err := src.Read(&u); err {
+		case nil:
+			if err := fn(&u); err != nil {
+				return err
+			}
+		case io.EOF:
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// SelectFrom streams src through the predicates, collecting the matching
+// users by value. Memory is bounded by the matches, not the source — the
+// streaming counterpart of Select.
+func SelectFrom(src UserSource, preds ...Pred) ([]User, error) {
+	var out []User
+	err := EachUser(src, func(u *User) error {
+		if matches(u, preds) {
+			out = append(out, *u)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ByCountry keeps users in the given country.

@@ -2,55 +2,84 @@ package dataset
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
+	"io"
 
 	"github.com/nwca/broadband/internal/market"
 )
 
 // LoadDir reads a dataset previously written by SaveDir (users.csv,
-// switches.csv, plans.csv) and reconstructs the per-market summaries from
-// the plan survey. Country metadata (region, GDP per capita) is rejoined
-// from the built-in market profiles; plans for countries without a profile
-// are kept but contribute no market summary.
+// switches.csv, plans.csv — or their .gz variants written with
+// SaveOptions.Gzip) and reconstructs the per-market summaries from the
+// plan survey. Tables are consumed through the streaming readers, one
+// record at a time, so transient memory stays constant per row. Country
+// metadata (region, GDP per capita) is rejoined from the built-in market
+// profiles; plans for countries without a profile are kept but contribute
+// no market summary.
 func LoadDir(dir string) (*Dataset, error) {
 	d := &Dataset{Markets: make(map[string]market.MarketSummary)}
 
-	read := func(name string, fn func(*os.File) error) error {
-		fp, err := os.Open(filepath.Join(dir, name))
+	read := func(base string, fn func(io.Reader) error) error {
+		rc, err := openTable(dir, base)
 		if err != nil {
 			return err
 		}
-		defer fp.Close()
-		return fn(fp)
+		defer rc.Close()
+		return fn(rc)
 	}
-	if err := read("users.csv", func(f *os.File) error {
-		users, err := ReadUsers(f)
+	if err := read("users.csv", func(r io.Reader) error {
+		ur, err := NewUserReader(r)
 		if err != nil {
 			return err
 		}
-		d.Users = users
-		return nil
+		var u User
+		for {
+			switch err := ur.Read(&u); err {
+			case nil:
+				d.Users = append(d.Users, u)
+			case io.EOF:
+				return nil
+			default:
+				return err
+			}
+		}
 	}); err != nil {
 		return nil, fmt.Errorf("dataset: loading users: %w", err)
 	}
-	if err := read("switches.csv", func(f *os.File) error {
-		switches, err := ReadSwitches(f)
+	if err := read("switches.csv", func(r io.Reader) error {
+		sr, err := NewSwitchReader(r)
 		if err != nil {
 			return err
 		}
-		d.Switches = switches
-		return nil
+		var s Switch
+		for {
+			switch err := sr.Read(&s); err {
+			case nil:
+				d.Switches = append(d.Switches, s)
+			case io.EOF:
+				return nil
+			default:
+				return err
+			}
+		}
 	}); err != nil {
 		return nil, fmt.Errorf("dataset: loading switches: %w", err)
 	}
-	if err := read("plans.csv", func(f *os.File) error {
-		plans, err := ReadPlans(f)
+	if err := read("plans.csv", func(r io.Reader) error {
+		pr, err := NewPlanReader(r)
 		if err != nil {
 			return err
 		}
-		d.Plans = plans
-		return nil
+		var pl market.Plan
+		for {
+			switch err := pr.Read(&pl); err {
+			case nil:
+				d.Plans = append(d.Plans, pl)
+			case io.EOF:
+				return nil
+			default:
+				return err
+			}
+		}
 	}); err != nil {
 		return nil, fmt.Errorf("dataset: loading plans: %w", err)
 	}

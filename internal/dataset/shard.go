@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/par"
+)
+
+// Sharded parallel CSV encoding: the record slice is split into contiguous
+// shards, each encoded by its own worker into a private buffer with the
+// record-at-a-time encoder, and the shards are concatenated in canonical
+// order after the header. Because every row is encoded independently and
+// shard boundaries never cut a record, the output is byte-identical for any
+// worker count — the same determinism contract the rest of the pipeline
+// keeps (DESIGN.md §5).
+
+// shardRange returns the half-open item range [lo, hi) of shard i when n
+// items are split evenly across the given shard count.
+func shardRange(n, shards, i int) (lo, hi int) {
+	return i * n / shards, (i + 1) * n / shards
+}
+
+// writeSharded encodes items across workers shards and writes header then
+// shards in order. workers <= 1 (or few items) degrades to a single
+// streaming pass that never buffers more than one row.
+func writeSharded[T any](w io.Writer, header []string, table string, items []T, workers int, enc func(*rowWriter, *T) error) error {
+	n := len(items)
+	workers = par.Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		rw := rowWriter{w: w, table: table}
+		if err := rw.header(header); err != nil {
+			return err
+		}
+		for i := range items {
+			if err := enc(&rw, &items[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bufs := make([]bytes.Buffer, workers)
+	if err := par.ForN(workers, workers, func(i int) error {
+		lo, hi := shardRange(n, workers, i)
+		// Seed the row counter so error messages report absolute rows.
+		rw := rowWriter{w: &bufs[i], table: table, row: 1 + lo}
+		for j := lo; j < hi; j++ {
+			if err := enc(&rw, &items[j]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	rw := rowWriter{w: w, table: table}
+	if err := rw.header(header); err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return fmt.Errorf("dataset: writing %s shard %d: %w", table, i, err)
+		}
+	}
+	return nil
+}
+
+// WriteUsersParallel streams users as CSV, encoding across workers shards
+// (0 = GOMAXPROCS, 1 = sequential). Output is byte-identical to WriteUsers
+// for every worker count.
+func WriteUsersParallel(w io.Writer, users []User, workers int) error {
+	return writeSharded(w, userHeader, "users", users, workers, encodeUser)
+}
+
+// WriteSwitchesParallel is WriteSwitches with sharded parallel encoding.
+func WriteSwitchesParallel(w io.Writer, switches []Switch, workers int) error {
+	return writeSharded(w, switchHeader, "switches", switches, workers, encodeSwitch)
+}
+
+// WritePlansParallel is WritePlans with sharded parallel encoding.
+func WritePlansParallel(w io.Writer, plans []market.Plan, workers int) error {
+	return writeSharded(w, planHeader, "plans", plans, workers, encodePlan)
+}

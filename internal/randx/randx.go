@@ -11,6 +11,7 @@
 package randx
 
 import (
+	"errors"
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
@@ -234,12 +235,29 @@ func (s *Source) Poisson(mean float64) int {
 	}
 }
 
+// ErrEmptyWeights is returned by CategoricalErr when the weight vector is
+// empty — the signature of a malformed catalog or mixture table.
+var ErrEmptyWeights = errors.New("randx: categorical draw from empty weights")
+
 // Categorical returns an index drawn with probability proportional to the
-// given non-negative weights. It panics if weights is empty; if all weights
-// are zero it returns a uniform index.
+// given non-negative weights. It panics if weights is empty; callers whose
+// weights come from configuration or external data should use
+// CategoricalErr so a malformed input surfaces as an error instead of
+// crashing a long generation run.
 func (s *Source) Categorical(weights []float64) int {
+	i, err := s.CategoricalErr(weights)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// CategoricalErr is Categorical with an error contract: it returns
+// ErrEmptyWeights (and -1) when weights is empty. If all weights are zero
+// it returns a uniform index.
+func (s *Source) CategoricalErr(weights []float64) (int, error) {
 	if len(weights) == 0 {
-		panic("randx: Categorical with no weights")
+		return -1, ErrEmptyWeights
 	}
 	total := 0.0
 	for _, w := range weights {
@@ -248,7 +266,7 @@ func (s *Source) Categorical(weights []float64) int {
 		}
 	}
 	if total <= 0 {
-		return s.IntN(len(weights))
+		return s.IntN(len(weights)), nil
 	}
 	u := s.rng.Float64() * total
 	acc := 0.0
@@ -258,8 +276,8 @@ func (s *Source) Categorical(weights []float64) int {
 		}
 		acc += w
 		if u < acc {
-			return i
+			return i, nil
 		}
 	}
-	return len(weights) - 1
+	return len(weights) - 1, nil
 }

@@ -1,6 +1,7 @@
 package randx
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -259,6 +260,32 @@ func TestCategoricalPanics(t *testing.T) {
 		}
 	}()
 	New(1).Categorical(nil)
+}
+
+func TestCategoricalErr(t *testing.T) {
+	// Empty weights surface the sentinel instead of panicking.
+	for _, weights := range [][]float64{nil, {}} {
+		i, err := New(1).CategoricalErr(weights)
+		if !errors.Is(err, ErrEmptyWeights) {
+			t.Errorf("CategoricalErr(%v) error = %v, want ErrEmptyWeights", weights, err)
+		}
+		if i != -1 {
+			t.Errorf("CategoricalErr(%v) index = %d, want -1", weights, i)
+		}
+	}
+	// On valid input the two entry points consume identical randomness and
+	// agree draw for draw.
+	a, b := New(77).Split("agree"), New(77).Split("agree")
+	weights := []float64{0.5, 0, 3, 1.25}
+	for i := 0; i < 1000; i++ {
+		got, err := a.CategoricalErr(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := b.Categorical(weights); got != want {
+			t.Fatalf("draw %d: CategoricalErr %d, Categorical %d", i, got, want)
+		}
+	}
 }
 
 func TestTruncNormalBounds(t *testing.T) {

@@ -239,7 +239,10 @@ func (g *generator) realizeUser(id int64, prof market.Profile, year int, vantage
 	}
 
 	btUser := vantage == dataset.VantageDasu && rng.Split("bt").Bool(prof.BTShare)
-	archetype := drawArchetype(rng.Split("archetype"))
+	archetype, err := drawArchetype(rng.Split("archetype"))
+	if err != nil {
+		return nil, err
+	}
 	profile := traffic.Profile{
 		NeedMbps: truth.NeedMbps,
 		// The session budget is where latent need expresses itself as
@@ -340,14 +343,19 @@ func sessionScale(needMbps float64) float64 {
 }
 
 // drawArchetype samples a household application-mix category from the
-// population shares.
-func drawArchetype(rng *randx.Source) traffic.Archetype {
+// population shares. A malformed (empty) archetype table surfaces as an
+// error rather than panicking mid-generation.
+func drawArchetype(rng *randx.Source) (traffic.Archetype, error) {
 	archetypes := traffic.Archetypes()
 	weights := make([]float64, len(archetypes))
 	for i, a := range archetypes {
 		weights[i] = traffic.ArchetypeShares[a]
 	}
-	return archetypes[rng.Categorical(weights)]
+	i, err := rng.CategoricalErr(weights)
+	if err != nil {
+		return 0, fmt.Errorf("synth: archetype shares: %w", err)
+	}
+	return archetypes[i], nil
 }
 
 // drawQuality samples the line's latency and loss from the country profile,

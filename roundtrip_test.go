@@ -1,6 +1,8 @@
 package broadband_test
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -37,5 +39,65 @@ func TestCSVRoundTripPreservesAnalyses(t *testing.T) {
 			t.Errorf("%s differs after CSV round trip:\n--- original ---\n%s--- loaded ---\n%s",
 				id, orig.Render(), back.Render())
 		}
+	}
+}
+
+// TestCSVSaveLoadSaveByteIdentical is the lossless-serialization contract:
+// floats are written in shortest round-trippable form, so saving a loaded
+// dataset reproduces every file bit-for-bit — and the sharded parallel
+// encoder must not perturb that, whatever its worker count.
+func TestCSVSaveLoadSaveByteIdentical(t *testing.T) {
+	world := apiTestWorld(t)
+	first := filepath.Join(t.TempDir(), "first")
+	if err := world.Data.SaveDir(first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := broadband.LoadDataset(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		second := filepath.Join(t.TempDir(), "second")
+		if err := broadband.SaveDataset(loaded, second, broadband.SaveOptions{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"users.csv", "switches.csv", "plans.csv"} {
+			a, err := os.ReadFile(filepath.Join(first, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(second, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("workers=%d: %s not byte-identical after save→load→save", workers, name)
+			}
+		}
+	}
+}
+
+// TestGzipDatasetPreservesAnalyses runs an experiment against a world that
+// traveled through the compressed transport.
+func TestGzipDatasetPreservesAnalyses(t *testing.T) {
+	world := apiTestWorld(t)
+	dir := filepath.Join(t.TempDir(), "gz")
+	if err := broadband.SaveDataset(&world.Data, dir, broadband.SaveOptions{Gzip: true}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := broadband.LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := broadband.Run("Table 1", &world.Data, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := broadband.Run("Table 1", loaded, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Render() != back.Render() {
+		t.Error("Table 1 differs after gzip round trip")
 	}
 }
