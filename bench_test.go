@@ -299,6 +299,9 @@ func BenchmarkFluidVsPacketAgreement(b *testing.B) {
 
 // Guard against the bench world failing silently under -bench=. -run=^$.
 func TestBenchWorldBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench world generation is slow; skipped with -short")
+	}
 	benchOnce.Do(func() {
 		w, err := synth.Build(synth.Config{
 			Seed: 20140705, Users: 2000, FCCUsers: 500, Days: 2,

@@ -198,6 +198,10 @@ func Experiments() []ReportEntry { return experiments.Registry() }
 // (its Sec. 10 future-work directions: usage caps, user categories).
 func ExtensionExperiments() []ReportEntry { return experiments.Extensions() }
 
+// FindExperiment returns the registry entry for a paper artifact ID
+// ("Table 1" … "Fig. 12"); extensions are not searched.
+func FindExperiment(id string) (ReportEntry, bool) { return experiments.Find(id) }
+
 // Run executes the reproduction of one paper artifact ("Table 1" … "Fig. 12")
 // against a dataset. seed controls the matching order randomization.
 func Run(id string, d *Dataset, seed uint64) (Report, error) {
@@ -223,7 +227,14 @@ func RunAll(d *Dataset, seed uint64) ([]Report, error) {
 // RunAllWorkers is RunAll with an explicit worker-pool bound. workers <= 0
 // selects runtime.GOMAXPROCS(0); 1 forces fully sequential execution.
 func RunAllWorkers(d *Dataset, seed uint64, workers int) ([]Report, error) {
-	entries := experiments.Registry()
+	return runEntries(experiments.Registry(), d, seed, workers)
+}
+
+// runEntries fans an entry list out over the worker pool with ordered
+// collection: reports come back in entry order, every entry runs even when
+// some fail, and the returned error is the lowest-indexed failure — with
+// the reports preceding it — exactly what a sequential loop would report.
+func runEntries(entries []ReportEntry, d *Dataset, seed uint64, workers int) ([]Report, error) {
 	reports := make([]Report, len(entries))
 	errs := make([]error, len(entries))
 	_ = par.ForN(par.Workers(workers), len(entries), func(i int) error {

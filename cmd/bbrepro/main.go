@@ -16,6 +16,7 @@ import (
 	"time"
 
 	broadband "github.com/nwca/broadband"
+	"github.com/nwca/broadband/internal/golden"
 	"github.com/nwca/broadband/internal/par"
 )
 
@@ -32,6 +33,9 @@ func main() {
 		dataDir  = flag.String("data", "", "analyze a dataset directory written by bbgen instead of generating a world")
 		ext      = flag.Bool("ext", false, "also run the extension analyses (beyond the paper's artifacts)")
 		workers  = flag.Int("workers", 0, "concurrent workers for generation and experiments (0 = GOMAXPROCS, 1 = sequential)")
+		verify   = flag.Bool("verify", false, "after printing, check artifacts against testdata/golden and the assertion manifest; exit nonzero on drift")
+		golDir   = flag.String("golden", "testdata/golden", "golden directory for -verify")
+		manifest = flag.String("manifest", "testdata/assertions.json", "assertion manifest for -verify (empty to skip assertions)")
 	)
 	flag.Parse()
 
@@ -114,5 +118,35 @@ func main() {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "bbrepro: %d of %d artifacts failed\n", failed, len(entries))
 		os.Exit(1)
+	}
+	if *verify {
+		// Only the paper's registry artifacts carry goldens; with -ext the
+		// extension reports print above but are not gated.
+		arts := make([]golden.Artifact, 0, len(entries))
+		for i, e := range entries {
+			if _, ok := broadband.FindExperiment(e.ID); ok {
+				arts = append(arts, golden.Artifact{ID: e.ID, Obj: reports[i]})
+			}
+		}
+		var m *golden.Manifest
+		if *manifest != "" {
+			loaded, err := golden.LoadManifest(*manifest)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+				os.Exit(1)
+			}
+			m = loaded
+		}
+		r, err := golden.Verify(arts, *golDir, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, r.Render())
+		if !r.OK() {
+			fmt.Fprintf(os.Stderr, "bbrepro: verify: %d of %d artifacts drifted\n", r.Failed(), len(r.Artifacts))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bbrepro: verify: all %d artifacts match the goldens\n", len(r.Artifacts))
 	}
 }

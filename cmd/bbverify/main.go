@@ -1,0 +1,127 @@
+// Command bbverify is the regression gate for the reproduction: it
+// regenerates every registry artifact at the default (or given) world
+// configuration, serializes each to its canonical JSON form, diffs the
+// result against the checked-in goldens under testdata/golden/, and
+// evaluates the assertion manifest that encodes EXPERIMENTS.md's shape
+// scorecard. Any drift or violated assertion exits nonzero with a
+// per-artifact report naming the drifted fields.
+//
+// Usage:
+//
+//	bbverify                          # verify goldens + assertions at the default world
+//	bbverify -update                  # regenerate testdata/golden/ from this tree
+//	bbverify -report drift.json       # also write the machine-readable drift report
+//	bbverify -users 8000 -golden /tmp/g -manifest ""   # custom world, goldens only
+//
+// Exit status: 0 when everything verifies, 1 on drift or assertion
+// violations, 2 when the harness itself fails (generation or an artifact
+// erroring out).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	broadband "github.com/nwca/broadband"
+	"github.com/nwca/broadband/internal/golden"
+	"github.com/nwca/broadband/internal/par"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 20140705, "world seed")
+		users    = flag.Int("users", 5000, "end-host users in the primary year")
+		fcc      = flag.Int("fcc", 1200, "US gateway-panel users")
+		days     = flag.Int("days", 2, "observation days per user")
+		switches = flag.Int("switches", 900, "service-upgrade records")
+		minPer   = flag.Int("min-per-country", 30, "minimum primary-year users per country")
+		workers  = flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+		dataDir  = flag.String("data", "", "verify a dataset directory written by bbgen instead of generating a world")
+		dir      = flag.String("golden", "testdata/golden", "golden artifact directory")
+		manifest = flag.String("manifest", "testdata/assertions.json", "assertion manifest (empty to skip assertions)")
+		update   = flag.Bool("update", false, "regenerate the golden files instead of verifying them")
+		report   = flag.String("report", "", "also write the JSON drift report to this file")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bbverify: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var data *broadband.Dataset
+	if *dataDir != "" {
+		loaded, err := broadband.LoadDataset(*dataDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		data = loaded
+	} else {
+		world, err := broadband.BuildWorld(broadband.WorldConfig{
+			Seed:          *seed,
+			Users:         *users,
+			FCCUsers:      *fcc,
+			Days:          *days,
+			SwitchTarget:  *switches,
+			MinPerCountry: *minPer,
+			Workers:       *workers,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		data = &world.Data
+	}
+
+	entries := broadband.Experiments()
+	arts := make([]golden.Artifact, len(entries))
+	runErrs := make([]error, len(entries))
+	_ = par.ForN(par.Workers(*workers), len(entries), func(i int) error {
+		rep, err := broadband.Run(entries[i].ID, data, *seed)
+		arts[i] = golden.Artifact{ID: entries[i].ID, Obj: rep}
+		runErrs[i] = err
+		return err
+	})
+	for i, e := range entries {
+		if runErrs[i] != nil {
+			fail("%s: %v", e.ID, runErrs[i])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bbverify: %d artifacts regenerated in %v (seed=%d, users=%d)\n",
+		len(arts), time.Since(start).Round(time.Millisecond), *seed, len(data.Users))
+
+	var m *golden.Manifest
+	if *manifest != "" {
+		loaded, err := golden.LoadManifest(*manifest)
+		if err != nil {
+			fail("%v", err)
+		}
+		m = loaded
+	}
+
+	if *update {
+		if err := golden.Update(arts, *dir); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "bbverify: wrote %d goldens to %s\n", len(arts), *dir)
+	}
+
+	r, err := golden.Verify(arts, *dir, m)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(r.Render())
+	if *report != "" {
+		if err := os.WriteFile(*report, r.JSON(), 0o644); err != nil {
+			fail("%v", err)
+		}
+	}
+	if !r.OK() {
+		fmt.Fprintf(os.Stderr, "bbverify: %d of %d artifacts drifted or violated assertions\n",
+			r.Failed(), len(r.Artifacts))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bbverify: all %d artifacts verified\n", len(r.Artifacts))
+}

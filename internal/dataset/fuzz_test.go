@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedCSV builds the seed corpus: a well-formed users table plus the
+// corruption fixtures the error-path tests pin (truncation, extra fields,
+// permuted header, garbled booleans).
+func fuzzSeedCSV(f *testing.F) {
+	var b bytes.Buffer
+	if err := WriteUsers(&b, manyUsers(5)); err != nil {
+		f.Fatal(err)
+	}
+	full := b.String()
+	lines := strings.SplitAfter(full, "\n")
+	f.Add(full)
+	f.Add(lines[0])                                                     // header only
+	f.Add(full[:len(full)-10])                                          // truncated mid-record
+	f.Add(lines[0] + strings.TrimSuffix(lines[1], "\n") + ",garbage\n") // extra field
+	f.Add(strings.Replace(full, "id,country", "country,id", 1))         // permuted header
+	f.Add(strings.Replace(full, "true", "truex", 1))                    // garbled bool
+	f.Add("")
+	f.Add("id\n1\n")
+	f.Add(lines[0] + "\x00\n")
+}
+
+// FuzzUserReader throws arbitrary bytes at the users CSV decoders. Three
+// contracts hold for any input: no panic; the streaming reader and the
+// slice API agree on accept/reject and on every decoded row; and any
+// accepted input reaches the save→load fixed point in one cycle (re-saving
+// the loaded rows is byte-identical — the lossless-serialization contract).
+func FuzzUserReader(f *testing.F) {
+	fuzzSeedCSV(f)
+	f.Fuzz(func(t *testing.T, data string) {
+		users, err := ReadUsers(strings.NewReader(data))
+
+		// Differential: the record-at-a-time reader must agree exactly.
+		var streamed []User
+		var serr error
+		if ur, uerr := NewUserReader(strings.NewReader(data)); uerr != nil {
+			serr = uerr
+		} else {
+			var u User
+			for {
+				rerr := ur.Read(&u)
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					serr = rerr
+					break
+				}
+				streamed = append(streamed, u)
+			}
+		}
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("slice err %v vs stream err %v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if len(users) != len(streamed) {
+			t.Fatalf("slice decoded %d rows, stream %d", len(users), len(streamed))
+		}
+		for i := range users {
+			if users[i] != streamed[i] {
+				t.Fatalf("row %d: slice %+v vs stream %+v", i, users[i], streamed[i])
+			}
+		}
+
+		// Unit-scaled fields settle after one write→read cycle; from there
+		// the table must re-serialize bit-for-bit.
+		var first bytes.Buffer
+		if werr := WriteUsers(&first, users); werr != nil {
+			t.Fatalf("rewrite of accepted input failed: %v", werr)
+		}
+		settled, rerr := ReadUsers(bytes.NewReader(first.Bytes()))
+		if rerr != nil {
+			t.Fatalf("rewritten table does not re-parse: %v", rerr)
+		}
+		var second bytes.Buffer
+		if werr := WriteUsers(&second, settled); werr != nil {
+			t.Fatal(werr)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("accepted input did not reach the save→load fixed point in one cycle")
+		}
+	})
+}

@@ -279,16 +279,16 @@ func TestEachUserStopsOnError(t *testing.T) {
 // values, and the huge draws a heavy-tailed Pareto can emit.
 func TestLosslessFloatFields(t *testing.T) {
 	adversarial := []float64{
-		5e-324,                 // smallest denormal
+		5e-324, // smallest denormal
 		math.SmallestNonzeroFloat64 * 7,
-		0.1 + 0.2,              // 0.30000000000000004 — 17 significant digits
+		0.1 + 0.2, // 0.30000000000000004 — 17 significant digits
 		1.0 / 3.0,
 		math.Nextafter(1, 2),   // 1 + ulp
 		9007199254740993.0,     // 2^53 + 1 territory
 		1.7976931348623157e308, // MaxFloat64
 		2.2250738585072014e-308,
-		123456789.12345679,     // survey-scale price with full mantissa
-		8.98846567431158e15,    // large bounded-Pareto volume draw
+		123456789.12345679,  // survey-scale price with full mantissa
+		8.98846567431158e15, // large bounded-Pareto volume draw
 	}
 	for _, v := range adversarial {
 		u := sampleUser(1, "US", 10)

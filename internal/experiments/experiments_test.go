@@ -38,6 +38,7 @@ func evalData(t *testing.T) *dataset.Dataset {
 func rng(label string) *randx.Source { return randx.New(99).Split(label) }
 
 func TestRegistryRunsEverything(t *testing.T) {
+	t.Parallel()
 	d := evalData(t)
 	entries := Registry()
 	if len(entries) != 20 {
@@ -71,6 +72,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 }
 
 func TestFig01Shapes(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig01(evalData(t), rng("f1"))
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +93,7 @@ func TestFig01Shapes(t *testing.T) {
 }
 
 func TestFig02CorrelationAndDiminishingReturns(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig02(evalData(t), rng("f2"))
 	if err != nil {
 		t.Fatal(err)
@@ -127,6 +130,7 @@ func TestFig02CorrelationAndDiminishingReturns(t *testing.T) {
 }
 
 func TestFig03VantageComparison(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig03(evalData(t), rng("f3"))
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +151,7 @@ func TestFig03VantageComparison(t *testing.T) {
 }
 
 func TestTable01UpgradeExperiment(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable01(evalData(t), rng("t1"))
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +169,7 @@ func TestTable01UpgradeExperiment(t *testing.T) {
 }
 
 func TestFig04SlowFast(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig04(evalData(t), rng("f4"))
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +186,7 @@ func TestFig04SlowFast(t *testing.T) {
 }
 
 func TestFig05TierDeltas(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig05(evalData(t), rng("f5"))
 	if err != nil {
 		t.Fatal(err)
@@ -198,6 +205,7 @@ func TestFig05TierDeltas(t *testing.T) {
 }
 
 func TestTable02CapacityLadder(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable02(evalData(t), rng("t2"))
 	if err != nil {
 		t.Fatal(err)
@@ -275,6 +283,7 @@ func mean(xs []float64) float64 {
 }
 
 func TestFig06LongitudinalNull(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig06(evalData(t), rng("f6"))
 	if err != nil {
 		t.Fatal(err)
@@ -302,6 +311,7 @@ func TestFig06LongitudinalNull(t *testing.T) {
 }
 
 func TestTable03PriceEffect(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable03(evalData(t), rng("t3"))
 	if err != nil {
 		t.Fatal(err)
@@ -328,6 +338,7 @@ func TestTable03PriceEffect(t *testing.T) {
 }
 
 func TestTable04CaseStudy(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable04(evalData(t), rng("t4"))
 	if err != nil {
 		t.Fatal(err)
@@ -362,6 +373,7 @@ func TestTable04CaseStudy(t *testing.T) {
 }
 
 func TestFig07Orderings(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig07(evalData(t), rng("f7"))
 	if err != nil {
 		t.Fatal(err)
@@ -380,6 +392,7 @@ func TestFig07Orderings(t *testing.T) {
 }
 
 func TestFig08UtilizationByTier(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig08(evalData(t), rng("f8"))
 	if err != nil {
 		t.Fatal(err)
@@ -418,6 +431,7 @@ func TestFig08UtilizationByTier(t *testing.T) {
 }
 
 func TestFig09DemandByTier(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig09(evalData(t), rng("f9"))
 	if err != nil {
 		t.Fatal(err)
@@ -463,6 +477,7 @@ func TestFig09DemandByTier(t *testing.T) {
 }
 
 func TestFig10UpgradeCostDistribution(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig10(evalData(t), rng("f10"))
 	if err != nil {
 		t.Fatal(err)
@@ -493,6 +508,7 @@ func TestFig10UpgradeCostDistribution(t *testing.T) {
 }
 
 func TestTable05RegionalShares(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable05(evalData(t), rng("t5"))
 	if err != nil {
 		t.Fatal(err)
@@ -524,6 +540,7 @@ func TestTable05RegionalShares(t *testing.T) {
 }
 
 func TestTable06UpgradeCostEffect(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable06(evalData(t), rng("t6"))
 	if err != nil {
 		t.Fatal(err)
@@ -551,6 +568,7 @@ func TestTable06UpgradeCostEffect(t *testing.T) {
 }
 
 func TestTable07LatencyEffect(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable07(evalData(t), rng("t7"))
 	if err != nil {
 		t.Fatal(err)
@@ -578,6 +596,7 @@ func TestTable07LatencyEffect(t *testing.T) {
 }
 
 func TestTable08LossEffect(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTable08(evalData(t), rng("t8"))
 	if err != nil {
 		t.Fatal(err)
@@ -608,6 +627,7 @@ func TestTable08LossEffect(t *testing.T) {
 }
 
 func TestFig11IndiaLatency(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig11(evalData(t), rng("f11"))
 	if err != nil {
 		t.Fatal(err)
@@ -628,6 +648,7 @@ func TestFig11IndiaLatency(t *testing.T) {
 }
 
 func TestFig12IndiaLoss(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig12(evalData(t), rng("f12"))
 	if err != nil {
 		t.Fatal(err)
@@ -645,6 +666,7 @@ func TestFig12IndiaLoss(t *testing.T) {
 // in a world with the quality→demand arrow severed, the latency experiment
 // must lose its significance.
 func TestAblationQoEOffKillsQualityEffects(t *testing.T) {
+	t.Parallel()
 	w, err := synth.Build(synth.Config{
 		Seed: 777, Users: 1500, FCCUsers: 50, Days: 2,
 		SwitchTarget: 20, MinPerCountry: 15, DisableQoE: true,

@@ -8,6 +8,7 @@ import (
 )
 
 func TestExtensionsRegistry(t *testing.T) {
+	t.Parallel()
 	exts := Extensions()
 	if len(exts) != 3 {
 		t.Fatalf("extensions = %d", len(exts))
@@ -32,6 +33,7 @@ func TestExtensionsRegistry(t *testing.T) {
 }
 
 func TestExtACapsSuppressDemand(t *testing.T) {
+	t.Parallel()
 	rep, err := RunExtA(evalData(t), rng("extA"))
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +67,7 @@ func TestExtACapsSuppressDemand(t *testing.T) {
 }
 
 func TestExtCDesignsAgree(t *testing.T) {
+	t.Parallel()
 	rep, err := RunExtC(evalData(t), rng("extC"))
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +92,7 @@ func TestExtCDesignsAgree(t *testing.T) {
 }
 
 func TestExtBArchetypeContrasts(t *testing.T) {
+	t.Parallel()
 	rep, err := RunExtB(evalData(t), rng("extB"))
 	if err != nil {
 		t.Fatal(err)

@@ -16,8 +16,8 @@ import (
 // Saudi Arabia < US < Japan — and ordered by peak utilization they read in
 // exactly the reverse order.
 type Fig07 struct {
-	Capacity    map[string][]float64 // Mbps values per country
-	Utilization map[string][]float64 // fractions per country
+	Capacity    map[string][]float64 `golden:"-"` // Mbps values per country
+	Utilization map[string][]float64 `golden:"-"` // fractions per country
 	// MedianCapacity and MeanUtilization summarize the orderings.
 	MedianCapacity  map[string]float64
 	MeanUtilization map[string]float64

@@ -24,7 +24,7 @@ type Fig08 struct {
 type Fig08Group struct {
 	Country string
 	Tier    stats.Tier
-	Values  []float64 // utilization fractions
+	Values  []float64 `golden:"-"` // utilization fractions
 	Mean    float64
 	Median  float64
 }

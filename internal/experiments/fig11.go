@@ -20,9 +20,9 @@ import (
 // than comparable US users' 62% of the time (p < 0.001) despite India's
 // higher access price — the quality arrow overpowering the price arrow.
 type Fig11 struct {
-	NDTIndiaAll, NDTOtherAll   []float64 // '11–'13 NDT RTT, seconds
-	NDTIndia14, NDTOther14     []float64 // latest-cohort NDT RTT
-	WebIndia14, WebOther14     []float64 // latest-cohort web RTT
+	NDTIndiaAll, NDTOtherAll   []float64 `golden:"-"` // '11–'13 NDT RTT, seconds
+	NDTIndia14, NDTOther14     []float64 `golden:"-"` // latest-cohort NDT RTT
+	WebIndia14, WebOther14     []float64 `golden:"-"` // latest-cohort web RTT
 	FracIndiaOver100ms         float64
 	IndiaVsUS                  core.Result // H: US (low latency) uses more than matched India
 	IndiaVsUSSkipped           bool

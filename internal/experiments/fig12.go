@@ -14,7 +14,7 @@ import (
 // the paper's evidence that poor connection quality (together with Fig. 11's
 // latencies) is the probable cause of India's depressed demand.
 type Fig12 struct {
-	India, Rest             []float64 // loss fractions
+	India, Rest             []float64 `golden:"-"` // loss fractions
 	MedianIndia, MedianRest float64
 	FracIndiaOver1          float64 // share of Indian users above 1% loss
 	FracRestOver1           float64

@@ -33,10 +33,12 @@ func runAllAgainst(t *testing.T, d *dataset.Dataset, label string) {
 }
 
 func TestRunnersOnEmptyDataset(t *testing.T) {
+	t.Parallel()
 	runAllAgainst(t, &dataset.Dataset{Markets: map[string]market.MarketSummary{}}, "empty")
 }
 
 func TestRunnersOnSwitchlessDataset(t *testing.T) {
+	t.Parallel()
 	d := evalData(t)
 	clone := *d
 	clone.Switches = nil
@@ -56,6 +58,7 @@ func TestRunnersOnSwitchlessDataset(t *testing.T) {
 }
 
 func TestRunnersOnSingleCountryDataset(t *testing.T) {
+	t.Parallel()
 	// A US-only world: the case-study artifacts (which need BW/SA/JP) and
 	// the India artifacts must fail cleanly; US-internal analyses survive.
 	w, err := synth.Build(synth.Config{
@@ -90,6 +93,7 @@ func usOnlyProfiles(t *testing.T) []market.Profile {
 }
 
 func TestRunnersOnTinyDataset(t *testing.T) {
+	t.Parallel()
 	w, err := synth.Build(synth.Config{Seed: 56, Users: 25, FCCUsers: 5, Days: 1, SwitchTarget: 3})
 	if err != nil {
 		t.Fatal(err)

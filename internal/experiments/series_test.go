@@ -14,6 +14,7 @@ func syntheticSeries(f func(x float64) float64) Series {
 }
 
 func TestDiminishingReturnsHelper(t *testing.T) {
+	t.Parallel()
 	// A saturating curve has a steeper low half than high half.
 	sat := syntheticSeries(func(x float64) float64 { return x / (1 + x/8) })
 	lo, hi, ok := DiminishingReturns(sat)
@@ -39,6 +40,7 @@ func TestDiminishingReturnsHelper(t *testing.T) {
 }
 
 func TestTailFlatteningHelper(t *testing.T) {
+	t.Parallel()
 	sat := syntheticSeries(func(x float64) float64 { return x / (1 + x/4) })
 	tail, mid, ok := tailFlattening(sat)
 	if !ok {

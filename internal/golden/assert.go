@@ -1,0 +1,250 @@
+package golden
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"strconv"
+
+	"github.com/nwca/broadband/internal/stats"
+)
+
+// Manifest is the machine-readable encoding of EXPERIMENTS.md's shape
+// scorecard plus the comparator's per-field tolerance rules. It lives in
+// testdata/assertions.json and is the single source of truth for both
+// bbverify and the metamorphic test suite.
+type Manifest struct {
+	// Tolerances relax the golden comparison at matching paths.
+	Tolerances []Tolerance `json:"tolerances,omitempty"`
+	// Artifacts lists the qualitative checks per registry artifact.
+	Artifacts []ArtifactAssertions `json:"artifacts"`
+}
+
+// ArtifactAssertions is the check set for one registry artifact.
+type ArtifactAssertions struct {
+	ID     string  `json:"id"`
+	Checks []Check `json:"checks"`
+}
+
+// Check is one qualitative assertion on an artifact's canonical tree. The
+// selected values are the numbers at every tree location matching Path (or
+// the Paths list, concatenated in list order — the way to compare fields
+// whose relative order in the struct does not match the wanted ordering).
+type Check struct {
+	// Name labels the check in drift reports.
+	Name string `json:"name"`
+	// Path selects values by slash-glob; Paths concatenates several
+	// selections in order. Exactly one of the two must be set.
+	Path  string   `json:"path,omitempty"`
+	Paths []string `json:"paths,omitempty"`
+	// Op is the assertion: "range" (every value within [min, max]),
+	// "sign" (every value has the given sign), "nondecreasing" /
+	// "nonincreasing" (the selected sequence is monotone within tol), or
+	// "peak_first" (no later value exceeds the first by more than tol).
+	Op string `json:"op"`
+	// Min and Max bound "range" (either may be omitted).
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Sign is the wanted sign for "sign": -1, 0 or 1.
+	Sign int `json:"sign,omitempty"`
+	// Tol is the absolute slack for the monotone ops.
+	Tol float64 `json:"tol,omitempty"`
+	// MinCount fails the check when fewer values are selected (default 1
+	// — a check that selects nothing is a stale path, not a pass).
+	MinCount int `json:"min_count,omitempty"`
+	// NonzeroOnly drops exact zeros from the selection before evaluating.
+	// Rows skipped for small samples leave zero-valued results behind
+	// (fraction 0, p 0); this is how ladder checks see only populated
+	// rungs.
+	NonzeroOnly bool `json:"nonzero_only,omitempty"`
+	// ScaleInvariant marks checks that must hold for any reasonable world
+	// size and seed, not just the default reproduction config. The
+	// metamorphic suite evaluates exactly these.
+	ScaleInvariant bool `json:"scale_invariant,omitempty"`
+}
+
+// LoadManifest reads and validates an assertion manifest.
+func LoadManifest(file string) (*Manifest, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return ParseManifest(data)
+}
+
+// ParseManifest decodes and validates a manifest document.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("golden: manifest: %w", err)
+	}
+	for _, a := range m.Artifacts {
+		if a.ID == "" {
+			return nil, fmt.Errorf("golden: manifest artifact with empty id")
+		}
+		for _, c := range a.Checks {
+			if err := c.validate(); err != nil {
+				return nil, fmt.Errorf("golden: manifest %s, check %q: %w", a.ID, c.Name, err)
+			}
+		}
+	}
+	return &m, nil
+}
+
+func (c Check) validate() error {
+	if (c.Path == "") == (len(c.Paths) == 0) {
+		return fmt.Errorf("exactly one of path/paths must be set")
+	}
+	switch c.Op {
+	case "range":
+		if c.Min == nil && c.Max == nil {
+			return fmt.Errorf("range needs min and/or max")
+		}
+	case "sign":
+		if c.Sign < -1 || c.Sign > 1 {
+			return fmt.Errorf("sign must be -1, 0 or 1")
+		}
+	case "nondecreasing", "nonincreasing", "peak_first":
+	default:
+		return fmt.Errorf("unknown op %q", c.Op)
+	}
+	return nil
+}
+
+// Checks returns the assertions registered for an artifact ID.
+func (m *Manifest) Checks(id string) []Check {
+	for _, a := range m.Artifacts {
+		if a.ID == id {
+			return a.Checks
+		}
+	}
+	return nil
+}
+
+// Violation is one failed assertion.
+type Violation struct {
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Check, v.Msg) }
+
+// EvalChecks evaluates assertions against an artifact tree. When
+// scaleInvariantOnly is set, only checks marked scale_invariant run — the
+// metamorphic suite's view of the manifest.
+func EvalChecks(v *Value, checks []Check, scaleInvariantOnly bool) []Violation {
+	var out []Violation
+	for _, c := range checks {
+		if scaleInvariantOnly && !c.ScaleInvariant {
+			continue
+		}
+		if msg := evalCheck(v, c); msg != "" {
+			out = append(out, Violation{Check: c.Name, Msg: msg})
+		}
+	}
+	return out
+}
+
+func evalCheck(v *Value, c Check) string {
+	globs := c.Paths
+	if c.Path != "" {
+		globs = []string{c.Path}
+	}
+	var vals []float64
+	var paths []string
+	for _, g := range globs {
+		sel := Select(v, g)
+		for _, s := range sel {
+			if s.V.Kind != KindNum {
+				return fmt.Sprintf("%s is %s, not a number", s.Path, s.V.Render())
+			}
+			if c.NonzeroOnly && s.V.Num == 0 {
+				continue
+			}
+			vals = append(vals, s.V.Num)
+			paths = append(paths, s.Path)
+		}
+	}
+	minCount := c.MinCount
+	if minCount <= 0 {
+		minCount = 1
+	}
+	if len(vals) < minCount {
+		return fmt.Sprintf("selected %d values, need at least %d (globs %v)", len(vals), minCount, globs)
+	}
+	switch c.Op {
+	case "range":
+		for i, x := range vals {
+			if c.Min != nil && !(x >= *c.Min) {
+				return fmt.Sprintf("%s = %g below min %g", paths[i], x, *c.Min)
+			}
+			if c.Max != nil && !(x <= *c.Max) {
+				return fmt.Sprintf("%s = %g above max %g", paths[i], x, *c.Max)
+			}
+		}
+	case "sign":
+		for i, x := range vals {
+			if stats.Sign(x) != c.Sign {
+				return fmt.Sprintf("%s = %g has sign %+d, want %+d", paths[i], x, stats.Sign(x), c.Sign)
+			}
+		}
+	case "nondecreasing":
+		if !stats.NonDecreasing(vals, c.Tol) {
+			return fmt.Sprintf("sequence %v is not non-decreasing (tol %g)", vals, c.Tol)
+		}
+	case "nonincreasing":
+		if !stats.NonIncreasing(vals, c.Tol) {
+			return fmt.Sprintf("sequence %v is not non-increasing (tol %g)", vals, c.Tol)
+		}
+	case "peak_first":
+		if !stats.PeakFirst(vals, c.Tol) {
+			return fmt.Sprintf("sequence %v does not peak at its first element (tol %g)", vals, c.Tol)
+		}
+	}
+	return ""
+}
+
+// Selected is one value picked out of a tree by a path glob.
+type Selected struct {
+	Path string
+	V    *Value
+}
+
+// Select returns every tree location matching the slash-glob, in tree
+// order (struct declaration order for objects, index order for arrays) —
+// the order monotonicity checks evaluate in.
+func Select(v *Value, glob string) []Selected {
+	var out []Selected
+	selectWalk(v, "", glob, &out)
+	return out
+}
+
+func selectWalk(v *Value, p, glob string, out *[]Selected) {
+	if v == nil {
+		return
+	}
+	if p != "" {
+		if ok, err := path.Match(glob, p); err == nil && ok {
+			*out = append(*out, Selected{Path: p, V: v})
+			return
+		}
+	}
+	switch v.Kind {
+	case KindObj:
+		for _, k := range v.Keys {
+			selectWalk(v.Fields[k], childPath(p, k), glob, out)
+		}
+	case KindArr:
+		for i, c := range v.Arr {
+			selectWalk(c, childPath(p, strconv.Itoa(i)), glob, out)
+		}
+	}
+}
+
+func childPath(p, k string) string {
+	if p == "" {
+		return k
+	}
+	return p + "/" + k
+}

@@ -1,0 +1,373 @@
+// Package golden is the regression harness for the reproduction's
+// artifacts: a canonical JSON serialization of every registry report, a
+// tolerance-aware comparator against checked-in golden files, and an
+// assertion-manifest evaluator that encodes EXPERIMENTS.md's qualitative
+// scorecard (correlation signs, monotone shapes, value ranges) in
+// machine-readable form.
+//
+// The canonical form is deliberately narrow:
+//
+//   - struct fields serialize in declaration order (stable across runs;
+//     golden files are versioned together with the structs that produce
+//     them), skipping unexported fields and fields tagged `golden:"-"`
+//     (raw per-user sample slices are tagged out — goldens capture the
+//     statistics, not the population);
+//   - map keys sort lexicographically;
+//   - floats render with strconv.FormatFloat(-1) — the shortest
+//     round-trippable form, the same convention the CSV layer uses — and
+//     the non-finite values NaN/+Inf/-Inf encode as those literal strings
+//     so the files stay valid JSON.
+package golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the canonical value tree.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindNum
+	KindStr
+	KindArr
+	KindObj
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindNum:
+		return "number"
+	case KindStr:
+		return "string"
+	case KindArr:
+		return "array"
+	case KindObj:
+		return "object"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Value is one node of the canonical tree. Exactly the field selected by
+// Kind is meaningful.
+type Value struct {
+	Kind   Kind
+	Bool   bool
+	Num    float64
+	Str    string
+	Arr    []*Value
+	Keys   []string // object keys, in canonical order
+	Fields map[string]*Value
+}
+
+// Field returns the named child of an object, or nil.
+func (v *Value) Field(name string) *Value {
+	if v == nil || v.Kind != KindObj {
+		return nil
+	}
+	return v.Fields[name]
+}
+
+// Non-finite floats encode as these literal strings; Parse leaves them as
+// KindStr and the comparator matches them by string equality, which is
+// what makes the pipeline NaN-aware end to end (NaN compares equal to
+// NaN, unlike the float it came from).
+const (
+	strNaN    = "NaN"
+	strPosInf = "+Inf"
+	strNegInf = "-Inf"
+)
+
+// ToValue converts an arbitrary Go value (typically a registry artifact
+// struct) into the canonical tree via reflection.
+func ToValue(v any) (*Value, error) {
+	if v == nil {
+		return &Value{Kind: KindNull}, nil
+	}
+	return toValue(reflect.ValueOf(v), "")
+}
+
+func toValue(rv reflect.Value, path string) (*Value, error) {
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			return &Value{Kind: KindNull}, nil
+		}
+		return toValue(rv.Elem(), path)
+	case reflect.Bool:
+		return &Value{Kind: KindBool, Bool: rv.Bool()}, nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return numValue(float64(rv.Int())), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return numValue(float64(rv.Uint())), nil
+	case reflect.Float32, reflect.Float64:
+		return numValue(rv.Float()), nil
+	case reflect.String:
+		return &Value{Kind: KindStr, Str: rv.String()}, nil
+	case reflect.Slice, reflect.Array:
+		if rv.Kind() == reflect.Slice && rv.IsNil() {
+			return &Value{Kind: KindArr}, nil
+		}
+		out := &Value{Kind: KindArr, Arr: make([]*Value, rv.Len())}
+		for i := 0; i < rv.Len(); i++ {
+			cv, err := toValue(rv.Index(i), fmt.Sprintf("%s/%d", path, i))
+			if err != nil {
+				return nil, err
+			}
+			out.Arr[i] = cv
+		}
+		return out, nil
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return nil, fmt.Errorf("golden: %s: unsupported map key type %s", path, rv.Type().Key())
+		}
+		keys := make([]string, 0, rv.Len())
+		for _, k := range rv.MapKeys() {
+			keys = append(keys, k.String())
+		}
+		sort.Strings(keys)
+		out := &Value{Kind: KindObj, Keys: keys, Fields: make(map[string]*Value, len(keys))}
+		for _, k := range keys {
+			cv, err := toValue(rv.MapIndex(reflect.ValueOf(k).Convert(rv.Type().Key())), path+"/"+k)
+			if err != nil {
+				return nil, err
+			}
+			out.Fields[k] = cv
+		}
+		return out, nil
+	case reflect.Struct:
+		t := rv.Type()
+		out := &Value{Kind: KindObj, Fields: make(map[string]*Value)}
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := f.Name
+			switch tag := f.Tag.Get("golden"); tag {
+			case "":
+			case "-":
+				continue
+			default:
+				name = tag
+			}
+			cv, err := toValue(rv.Field(i), path+"/"+name)
+			if err != nil {
+				return nil, err
+			}
+			out.Keys = append(out.Keys, name)
+			out.Fields[name] = cv
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("golden: %s: unsupported kind %s", path, rv.Kind())
+	}
+}
+
+func numValue(f float64) *Value {
+	switch {
+	case math.IsNaN(f):
+		return &Value{Kind: KindStr, Str: strNaN}
+	case math.IsInf(f, 1):
+		return &Value{Kind: KindStr, Str: strPosInf}
+	case math.IsInf(f, -1):
+		return &Value{Kind: KindStr, Str: strNegInf}
+	default:
+		return &Value{Kind: KindNum, Num: f}
+	}
+}
+
+// Encode renders the tree as canonical JSON: two-space indentation, object
+// keys in tree order, floats in shortest round-trippable form, trailing
+// newline. Encoding the same tree always yields the same bytes.
+func (v *Value) Encode() []byte {
+	var b bytes.Buffer
+	v.encode(&b, 0)
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+func (v *Value) encode(b *bytes.Buffer, depth int) {
+	switch v.Kind {
+	case KindNull:
+		b.WriteString("null")
+	case KindBool:
+		b.WriteString(strconv.FormatBool(v.Bool))
+	case KindNum:
+		b.Write(appendFloat(nil, v.Num))
+	case KindStr:
+		b.Write(encodeJSONString(v.Str))
+	case KindArr:
+		if len(v.Arr) == 0 {
+			b.WriteString("[]")
+			return
+		}
+		b.WriteString("[\n")
+		for i, c := range v.Arr {
+			indent(b, depth+1)
+			c.encode(b, depth+1)
+			if i < len(v.Arr)-1 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('\n')
+		}
+		indent(b, depth)
+		b.WriteByte(']')
+	case KindObj:
+		if len(v.Keys) == 0 {
+			b.WriteString("{}")
+			return
+		}
+		b.WriteString("{\n")
+		for i, k := range v.Keys {
+			indent(b, depth+1)
+			b.Write(encodeJSONString(k))
+			b.WriteString(": ")
+			v.Fields[k].encode(b, depth+1)
+			if i < len(v.Keys)-1 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('\n')
+		}
+		indent(b, depth)
+		b.WriteByte('}')
+	}
+}
+
+func indent(b *bytes.Buffer, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// appendFloat renders a finite float in the shortest form that parses back
+// to the identical bits — the same FormatFloat(-1) convention as the CSV
+// layer, restricted to JSON-legal syntax (json numbers cannot say "Inf").
+func appendFloat(dst []byte, f float64) []byte {
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
+}
+
+func encodeJSONString(s string) []byte {
+	out, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		panic(err)
+	}
+	return out
+}
+
+// Marshal is ToValue followed by Encode.
+func Marshal(v any) ([]byte, error) {
+	cv, err := ToValue(v)
+	if err != nil {
+		return nil, err
+	}
+	return cv.Encode(), nil
+}
+
+// Parse reads a JSON document (typically a golden file) into the canonical
+// tree, preserving object key order and exact float values.
+func Parse(data []byte) (*Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	v, err := parseValue(dec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("golden: trailing data after JSON document")
+	}
+	return v, nil
+}
+
+func parseValue(dec *json.Decoder) (*Value, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("golden: %w", err)
+	}
+	return parseToken(dec, tok)
+}
+
+func parseToken(dec *json.Decoder, tok json.Token) (*Value, error) {
+	switch t := tok.(type) {
+	case nil:
+		return &Value{Kind: KindNull}, nil
+	case bool:
+		return &Value{Kind: KindBool, Bool: t}, nil
+	case string:
+		return &Value{Kind: KindStr, Str: t}, nil
+	case json.Number:
+		f, err := strconv.ParseFloat(t.String(), 64)
+		if err != nil {
+			return nil, fmt.Errorf("golden: bad number %q: %w", t, err)
+		}
+		return &Value{Kind: KindNum, Num: f}, nil
+	case json.Delim:
+		switch t {
+		case '[':
+			out := &Value{Kind: KindArr}
+			for dec.More() {
+				cv, err := parseValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				out.Arr = append(out.Arr, cv)
+			}
+			if _, err := dec.Token(); err != nil { // closing ]
+				return nil, fmt.Errorf("golden: %w", err)
+			}
+			return out, nil
+		case '{':
+			out := &Value{Kind: KindObj, Fields: make(map[string]*Value)}
+			for dec.More() {
+				ktok, err := dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("golden: %w", err)
+				}
+				key, ok := ktok.(string)
+				if !ok {
+					return nil, fmt.Errorf("golden: object key %v is not a string", ktok)
+				}
+				cv, err := parseValue(dec)
+				if err != nil {
+					return nil, err
+				}
+				out.Keys = append(out.Keys, key)
+				out.Fields[key] = cv
+			}
+			if _, err := dec.Token(); err != nil { // closing }
+				return nil, fmt.Errorf("golden: %w", err)
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("golden: unexpected token %v", tok)
+}
+
+// Render describes a value in one line for diff and assertion messages.
+func (v *Value) Render() string {
+	if v == nil {
+		return "<missing>"
+	}
+	switch v.Kind {
+	case KindArr:
+		return fmt.Sprintf("array[%d]", len(v.Arr))
+	case KindObj:
+		return fmt.Sprintf("object{%s}", strings.Join(v.Keys, ","))
+	default:
+		return strings.TrimSuffix(string(v.Encode()), "\n")
+	}
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The edge-case contract of the descriptive layer, in one table: empty
+// samples are the only error; a single observation is a valid (degenerate)
+// sample everywhere except the variance family; all-equal samples are
+// exact; and non-finite observations propagate silently (garbage in,
+// garbage out — callers filter, the stats layer never panics).
+
+type descCase struct {
+	name    string
+	xs      []float64
+	wantErr bool    // every one-sample function errors
+	mean    float64 // asserted when wantErr is false (NaN matched by IsNaN)
+	median  float64
+}
+
+func descCases() []descCase {
+	return []descCase{
+		{name: "empty", xs: nil, wantErr: true},
+		{name: "single", xs: []float64{3}, mean: 3, median: 3},
+		{name: "all-equal", xs: []float64{2, 2, 2, 2}, mean: 2, median: 2},
+		{name: "negative", xs: []float64{-5, -1, -3}, mean: -3, median: -3},
+	}
+}
+
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestDescriptiveEdgeTable(t *testing.T) {
+	t.Parallel()
+	for _, c := range descCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			m, errMean := Mean(c.xs)
+			md, errMed := Median(c.xs)
+			_, _, errMM := MinMax(c.xs)
+			_, errSumm := Summarize(c.xs)
+			_, errECDF := NewECDF(c.xs)
+			_, errCI := MeanCI(c.xs, 0.95)
+			for name, err := range map[string]error{
+				"Mean": errMean, "Median": errMed, "MinMax": errMM,
+				"Summarize": errSumm, "NewECDF": errECDF, "MeanCI": errCI,
+			} {
+				if (err != nil) != c.wantErr {
+					t.Errorf("%s(%v) error = %v, want error %v", name, c.xs, err, c.wantErr)
+				}
+			}
+			if c.wantErr {
+				return
+			}
+			if !sameFloat(m, c.mean) {
+				t.Errorf("Mean(%v) = %v, want %v", c.xs, m, c.mean)
+			}
+			if !sameFloat(md, c.median) {
+				t.Errorf("Median(%v) = %v, want %v", c.xs, md, c.median)
+			}
+		})
+	}
+}
+
+func TestVarianceNeedsTwo(t *testing.T) {
+	t.Parallel()
+	if _, err := Variance([]float64{3}); err == nil {
+		t.Error("Variance of a single observation should error")
+	}
+	if _, err := StdDev([]float64{3}); err == nil {
+		t.Error("StdDev of a single observation should error")
+	}
+	v, err := Variance([]float64{2, 2, 2, 2})
+	if err != nil || v != 0 {
+		t.Errorf("Variance(all-equal) = %v, %v; want 0, nil", v, err)
+	}
+}
+
+// TestNonFinitePropagation pins the silent-propagation contract: NaN and
+// Inf observations never error and never panic; moment statistics carry
+// the poison through, while order statistics that only compare (MinMax)
+// skip past NaN.
+func TestNonFinitePropagation(t *testing.T) {
+	t.Parallel()
+	nan, inf := math.NaN(), math.Inf(1)
+
+	m, err := Mean([]float64{1, nan, 3})
+	if err != nil || !math.IsNaN(m) {
+		t.Errorf("Mean with NaN = %v, %v; want NaN, nil", m, err)
+	}
+	m, err = Mean([]float64{1, inf, 3})
+	if err != nil || !math.IsInf(m, 1) {
+		t.Errorf("Mean with +Inf = %v, %v; want +Inf, nil", m, err)
+	}
+	v, err := Variance([]float64{1, inf, 3})
+	if err != nil || !math.IsNaN(v) {
+		t.Errorf("Variance with +Inf = %v, %v; want NaN (Inf-Inf), nil", v, err)
+	}
+	lo, hi, err := MinMax([]float64{1, nan, 3})
+	if err != nil || lo != 1 || hi != 3 {
+		t.Errorf("MinMax with NaN = %v, %v, %v; want 1, 3, nil", lo, hi, err)
+	}
+	lo, hi, err = MinMax([]float64{1, inf, 3})
+	if err != nil || lo != 1 || !math.IsInf(hi, 1) {
+		t.Errorf("MinMax with +Inf = %v, %v, %v; want 1, +Inf, nil", lo, hi, err)
+	}
+	if _, err := NewECDF([]float64{1, nan, 3}); err != nil {
+		t.Errorf("NewECDF with NaN errored: %v", err)
+	}
+	if q, err := Quantile([]float64{1, nan}, 0.5); err != nil {
+		t.Errorf("Quantile with NaN = %v, %v; want silent propagation", q, err)
+	}
+}
+
+// TestPairedEdgeTable sweeps the two-sample machinery over its degenerate
+// inputs: constant series kill Pearson and the regression (zero variance),
+// all-tied pairs starve the Wilcoxon test, and the rank tests degrade
+// gracefully instead of erroring.
+func TestPairedEdgeTable(t *testing.T) {
+	t.Parallel()
+	nan := math.NaN()
+
+	if _, err := Pearson([]float64{1, 2, 3}, []float64{2, 2, 2}); err == nil {
+		t.Error("Pearson against a constant series should error (zero variance)")
+	}
+	if r, err := Pearson([]float64{1, nan, 3}, []float64{1, 2, 3}); err != nil || !math.IsNaN(r) {
+		t.Errorf("Pearson with NaN = %v, %v; want NaN, nil", r, err)
+	}
+	if _, err := LinearRegression([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("LinearRegression on constant x should error")
+	}
+	if r, err := Spearman([]float64{1, 2}, []float64{3, 4}); err != nil || r != 1 {
+		t.Errorf("Spearman of two concordant pairs = %v, %v; want 1, nil", r, err)
+	}
+	k, err := KSTest([]float64{1}, []float64{2})
+	if err != nil || k.D != 1 {
+		t.Errorf("KS of disjoint singletons = %v, %v; want D=1, nil", k.D, err)
+	}
+	u, err := MannWhitneyU([]float64{2, 2}, []float64{2, 2}, TailTwoSided)
+	if err != nil || u.P != 1 {
+		t.Errorf("MannWhitney on identical all-equal samples: P=%v, %v; want 1, nil", u.P, err)
+	}
+	if _, err := WilcoxonSignedRank([]float64{1, 2}, []float64{1, 2}, TailGreater); err == nil {
+		t.Error("Wilcoxon with every pair tied should error (no informative pairs)")
+	}
+}

@@ -2,6 +2,7 @@ package unit
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -68,8 +69,14 @@ func ParseByteSize(s string) (ByteSize, error) {
 	if err != nil {
 		return 0, fmt.Errorf("unit: bad byte size %q: %w", s, err)
 	}
-	if v < 0 {
+	if v < 0 || math.IsNaN(v) {
 		return 0, fmt.Errorf("unit: negative byte size %q", s)
 	}
-	return ByteSize(v * float64(scale)), nil
+	// Converting a float beyond int64 range is implementation-defined; the
+	// bound check keeps ByteSize(v*scale) well-defined for any input text.
+	b := v * float64(scale)
+	if b >= math.MaxInt64 {
+		return 0, fmt.Errorf("unit: byte size %q out of range", s)
+	}
+	return ByteSize(b), nil
 }
