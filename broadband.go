@@ -27,6 +27,7 @@
 package broadband
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -134,6 +135,13 @@ func Mbps(v float64) Bitrate { return unit.MbpsOf(v) }
 // configuration. Generation is deterministic in cfg.Seed.
 func BuildWorld(cfg WorldConfig) (*World, error) { return synth.Build(cfg) }
 
+// BuildWorldCtx is BuildWorld with cancellation: generation stops at the
+// next internal work boundary once ctx is cancelled and returns ctx.Err()
+// with no world. A run that completes is byte-identical to BuildWorld.
+func BuildWorldCtx(ctx context.Context, cfg WorldConfig) (*World, error) {
+	return synth.BuildCtx(ctx, cfg)
+}
+
 // LoadDataset reads a dataset previously written with Dataset.SaveDir or
 // SaveDataset (users.csv, switches.csv, plans.csv — plain or .gz),
 // rebuilding market summaries from the plan survey. Tables stream through
@@ -141,15 +149,49 @@ func BuildWorld(cfg WorldConfig) (*World, error) { return synth.Build(cfg) }
 // a second parsed copy.
 func LoadDataset(dir string) (*Dataset, error) { return dataset.LoadDir(dir) }
 
+// Quarantine-hardened ingestion: the robust loader skips malformed,
+// out-of-domain, duplicated and orphaned rows instead of aborting, and
+// reports every excluded row with its file, 1-based row number and fault
+// class — up to a configurable error budget.
+type (
+	// QuarantineOptions configures the robust loader's error budget.
+	QuarantineOptions = dataset.QuarantineOptions
+	// QuarantineReport lists every quarantined row of a robust load.
+	QuarantineReport = dataset.QuarantineReport
+	// RowDiag is one quarantined row: file, row, fault class, cause.
+	RowDiag = dataset.RowDiag
+	// RowFault classifies why a row was quarantined.
+	RowFault = dataset.RowFault
+	// RowError is the typed load error carrying file, row and fault class.
+	RowError = dataset.RowError
+	// BudgetError is the single summarizing error of an exhausted budget.
+	BudgetError = dataset.BudgetError
+)
+
+// LoadDatasetRobust reads a dataset directory under the quarantine
+// contract: bad rows are skipped and collected into the returned report
+// instead of failing the load, until the error budget in opts is exceeded
+// (then a *BudgetError is returned). The report is non-nil even on failure.
+func LoadDatasetRobust(dir string, opts QuarantineOptions) (*Dataset, *QuarantineReport, error) {
+	return dataset.LoadDirRobust(dir, opts)
+}
+
 // SaveOptions tunes SaveDataset: gzip transport (.csv.gz) and the sharded
 // parallel encoder's worker count (output bytes are identical for every
 // worker count).
 type SaveOptions = dataset.SaveOptions
 
 // SaveDataset writes d under dir as users.csv, switches.csv and plans.csv
-// (or .csv.gz when opts.Gzip is set).
+// (or .csv.gz when opts.Gzip is set). Every table is staged in a temp file
+// and renamed into place only after a complete write.
 func SaveDataset(d *Dataset, dir string, opts SaveOptions) error {
 	return d.SaveDirWith(dir, opts)
+}
+
+// SaveDatasetCtx is SaveDataset with cancellation: an interrupted save
+// abandons its staging file and leaves no partial table at a final path.
+func SaveDatasetCtx(ctx context.Context, d *Dataset, dir string, opts SaveOptions) error {
+	return d.SaveDirCtx(ctx, dir, opts)
 }
 
 // Streaming dataset access: record-at-a-time readers and writers with
@@ -227,28 +269,53 @@ func RunAll(d *Dataset, seed uint64) ([]Report, error) {
 // RunAllWorkers is RunAll with an explicit worker-pool bound. workers <= 0
 // selects runtime.GOMAXPROCS(0); 1 forces fully sequential execution.
 func RunAllWorkers(d *Dataset, seed uint64, workers int) ([]Report, error) {
-	return runEntries(experiments.Registry(), d, seed, workers)
+	return runEntries(context.Background(), experiments.Registry(), d, seed, workers)
+}
+
+// RunAllCtx is RunAll with cancellation: no new experiment starts after ctx
+// is cancelled, experiments already running finish, and the call returns
+// ctx.Err() alongside the reports completed before the cut. Experiment
+// failures keep RunAll's contract — every entry still runs.
+func RunAllCtx(ctx context.Context, d *Dataset, seed uint64) ([]Report, error) {
+	return RunAllWorkersCtx(ctx, d, seed, 0)
+}
+
+// RunAllWorkersCtx is RunAllCtx with an explicit worker-pool bound.
+func RunAllWorkersCtx(ctx context.Context, d *Dataset, seed uint64, workers int) ([]Report, error) {
+	return runEntries(ctx, experiments.Registry(), d, seed, workers)
 }
 
 // runEntries fans an entry list out over the worker pool with ordered
 // collection: reports come back in entry order, every entry runs even when
 // some fail, and the returned error is the lowest-indexed failure — with
 // the reports preceding it — exactly what a sequential loop would report.
-func runEntries(entries []ReportEntry, d *Dataset, seed uint64, workers int) ([]Report, error) {
+// Cancellation is the one exception to run-everything: once ctx is
+// cancelled no new entry is dispatched, and ctx.Err() is returned with the
+// contiguous prefix of completed reports (an entry that never ran cannot
+// appear, so nothing after a gap is reported).
+func runEntries(ctx context.Context, entries []ReportEntry, d *Dataset, seed uint64, workers int) ([]Report, error) {
 	reports := make([]Report, len(entries))
 	errs := make([]error, len(entries))
-	_ = par.ForN(par.Workers(workers), len(entries), func(i int) error {
+	// fn never returns an experiment error: failures are collected in errs
+	// so every entry runs (ForNCtx would otherwise stop dispatch at the
+	// first one). Only cancellation cuts the fan-out short.
+	ctxErr := par.ForNCtx(ctx, par.Workers(workers), len(entries), func(i int) error {
 		reports[i], errs[i] = entries[i].Run(d, randx.New(seed).Split(entries[i].ID))
-		return errs[i]
+		return nil
 	})
 	out := make([]Report, 0, len(entries))
 	for i, e := range entries {
+		if ctxErr != nil && reports[i] == nil && errs[i] == nil {
+			// Entry i never ran (cancelled before dispatch): report the
+			// prefix that did complete.
+			return out, ctxErr
+		}
 		if errs[i] != nil {
 			return out, fmt.Errorf("broadband: %s: %w", e.ID, errs[i])
 		}
 		out = append(out, reports[i])
 	}
-	return out, nil
+	return out, ctxErr
 }
 
 // RunPaired evaluates the within-subject upgrade experiment (Table 1's

@@ -1,0 +1,224 @@
+// Command bbchaos is the chaos harness: it perturbs a dataset with the
+// deterministic fault injector, loads the damaged files through the
+// quarantine layer, reruns the full experiment registry, and checks the
+// scorecard still satisfies the assertion manifest. It answers, end to end,
+// "how much measurement damage can the reproduction absorb before its
+// conclusions move?"
+//
+// Usage:
+//
+//	bbchaos                          # default world, 1% faults
+//	bbchaos -rate 0.05 -seed 7      # heavier damage, replayable by seed
+//	bbchaos -data data/ -rate 0.01  # perturb a copy of an existing dataset
+//	bbchaos -report chaos.json      # machine-readable injection+drift report
+//
+// The source dataset is never modified: faults are injected into a
+// throwaway copy (-keep preserves it for inspection). Exit status: 0 when
+// the damaged dataset loads within the error budget and every artifact
+// satisfies the manifest's scale-invariant checks, 1 when the budget trips
+// or an assertion fails, 2 when the harness itself fails, 130 on interrupt.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	broadband "github.com/nwca/broadband"
+	"github.com/nwca/broadband/internal/chaos"
+	"github.com/nwca/broadband/internal/cli"
+	"github.com/nwca/broadband/internal/fsx"
+	"github.com/nwca/broadband/internal/golden"
+)
+
+// report is the machine-readable outcome written by -report.
+type report struct {
+	Seed       uint64                      `json:"seed"`
+	Rate       float64                     `json:"rate"`
+	Injected   *chaos.Log                  `json:"injected"`
+	Quarantine *broadband.QuarantineReport `json:"quarantine,omitempty"`
+	LoadError  string                      `json:"load_error,omitempty"`
+	Violations map[string][]string         `json:"violations,omitempty"`
+}
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "chaos seed (the fault pattern is a pure function of it)")
+		rate      = flag.Float64("rate", 0.01, "per-row fault probability")
+		truncate  = flag.Float64("truncate", 0, "per-table shard-truncation probability")
+		corrupt   = flag.Float64("corrupt", 0, "per-table gzip-corruption probability (gzip datasets)")
+		dataDir   = flag.String("data", "", "perturb a copy of this dataset directory instead of generating a world")
+		worldSeed = flag.Uint64("world-seed", 20140705, "world seed when generating")
+		users     = flag.Int("users", 2000, "end-host users when generating")
+		fcc       = flag.Int("fcc", 500, "US gateway-panel users when generating")
+		days      = flag.Int("days", 2, "observation days per user when generating")
+		switches  = flag.Int("switches", 400, "service-upgrade records when generating")
+		minPer    = flag.Int("min-per-country", 10, "minimum primary-year users per country when generating")
+		badFrac   = flag.Float64("max-bad-frac", 0, "quarantine error budget as a bad-row fraction (0 = the default 5%)")
+		manifest  = flag.String("manifest", "testdata/assertions.json", "assertion manifest (empty to skip the scorecard)")
+		reportTo  = flag.String("report", "", "write the JSON injection+drift report to this file")
+		keep      = flag.String("keep", "", "keep the perturbed dataset in this directory instead of a throwaway temp dir")
+		workers   = flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	ctx, stop := cli.Context()
+	defer stop()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bbchaos: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	// Stage the pristine dataset in the work directory; the injector only
+	// ever touches the copy.
+	workDir := *keep
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "bbchaos-*")
+		if err != nil {
+			fail("%v", err)
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	} else if err := os.MkdirAll(workDir, 0o755); err != nil {
+		fail("%v", err)
+	}
+
+	start := time.Now()
+	if *dataDir != "" {
+		if err := copyDataset(*dataDir, workDir); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		world, err := broadband.BuildWorldCtx(ctx, broadband.WorldConfig{
+			Seed:          *worldSeed,
+			Users:         *users,
+			FCCUsers:      *fcc,
+			Days:          *days,
+			SwitchTarget:  *switches,
+			MinPerCountry: *minPer,
+			Workers:       *workers,
+		})
+		if err != nil {
+			cli.Exit("bbchaos", err, 2)
+		}
+		if err := broadband.SaveDatasetCtx(ctx, &world.Data, workDir, broadband.SaveOptions{Workers: *workers}); err != nil {
+			cli.Exit("bbchaos", err, 2)
+		}
+	}
+
+	in := chaos.New(chaos.Config{
+		Seed:         *seed,
+		Rate:         *rate,
+		TruncateProb: *truncate,
+		CorruptProb:  *corrupt,
+	})
+	log, err := in.PerturbDir(workDir)
+	if err != nil {
+		fail("injecting faults: %v", err)
+	}
+	fmt.Fprint(os.Stderr, log.Render())
+
+	rep := &report{Seed: *seed, Rate: *rate, Injected: log}
+	exit := func(code int) {
+		if *reportTo != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := fsx.WriteFileAtomic(*reportTo, append(data, '\n'), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+		os.Exit(code)
+	}
+
+	d, qrep, err := broadband.LoadDatasetRobust(workDir, broadband.QuarantineOptions{MaxBadFrac: *badFrac})
+	rep.Quarantine = qrep
+	if qrep != nil {
+		fmt.Fprint(os.Stderr, qrep.Render())
+	}
+	if err != nil {
+		if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+			cli.Exit("bbchaos", err, 2)
+		}
+		rep.LoadError = err.Error()
+		fmt.Fprintf(os.Stderr, "bbchaos: damaged dataset rejected: %v\n", err)
+		exit(1)
+	}
+
+	if err := ctx.Err(); err != nil {
+		cli.Exit("bbchaos", err, 2)
+	}
+	reports, err := broadband.RunAllWorkersCtx(ctx, d, *worldSeed, *workers)
+	if err != nil {
+		cli.Exit("bbchaos", err, 2)
+	}
+
+	violations := map[string][]string{}
+	if *manifest != "" {
+		m, err := golden.LoadManifest(*manifest)
+		if err != nil {
+			fail("%v", err)
+		}
+		for i, e := range broadband.Experiments() {
+			v, err := golden.ToValue(reports[i])
+			if err != nil {
+				fail("%s: %v", e.ID, err)
+			}
+			// Only the scale-invariant subset is meaningful here: quarantined
+			// rows shrink the population, so exact-value checks are expected
+			// to move while signs and orderings must not.
+			for _, viol := range golden.EvalChecks(v, m.Checks(e.ID), true) {
+				violations[e.ID] = append(violations[e.ID], viol.String())
+			}
+		}
+	}
+	rep.Violations = violations
+	fmt.Fprintf(os.Stderr, "bbchaos: %d artifacts recomputed on the damaged dataset in %v\n",
+		len(reports), time.Since(start).Round(time.Millisecond))
+	if len(violations) > 0 {
+		for id, vs := range violations {
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "bbchaos: %s: %s\n", id, v)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bbchaos: conclusions moved under fault rate %g (%d artifacts violated)\n", *rate, len(violations))
+		exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bbchaos: scorecard intact under fault rate %g\n", *rate)
+	exit(0)
+}
+
+// copyDataset copies the three table files (plain or .gz) from src into dst
+// without touching src.
+func copyDataset(src, dst string) error {
+	copied := 0
+	for _, base := range chaos.Tables {
+		for _, name := range []string{base, base + ".gz"} {
+			from, err := os.Open(filepath.Join(src, name))
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			_, err = fsx.CopyAtomic(filepath.Join(dst, name), io.Reader(from))
+			from.Close()
+			if err != nil {
+				return err
+			}
+			copied++
+			break
+		}
+	}
+	if copied != len(chaos.Tables) {
+		return fmt.Errorf("bbchaos: %s does not hold a complete dataset (%d of %d tables)", src, copied, len(chaos.Tables))
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	broadband "github.com/nwca/broadband"
+	"github.com/nwca/broadband/internal/cli"
 )
 
 func main() {
@@ -33,6 +34,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels generation and the save; writes are atomic,
+	// so an interrupted bbgen leaves no partial table files behind.
+	ctx, stop := cli.Context()
+	defer stop()
+
 	cfg := broadband.WorldConfig{
 		Seed:          *seed,
 		Users:         *users,
@@ -47,17 +53,15 @@ func main() {
 	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "bbgen: generating world (seed=%d, users=%d)...\n", *seed, *users)
-	world, err := broadband.BuildWorld(cfg)
+	world, err := broadband.BuildWorldCtx(ctx, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bbgen: %v\n", err)
-		os.Exit(1)
+		cli.Exit("bbgen", err, 1)
 	}
 	if n := world.SkippedHouseholds(); n > 0 {
 		fmt.Fprintf(os.Stderr, "bbgen: %d households skipped (no affordable plan after every redraw)\n", n)
 	}
-	if err := broadband.SaveDataset(&world.Data, *out, broadband.SaveOptions{Gzip: *gz, Workers: *workers}); err != nil {
-		fmt.Fprintf(os.Stderr, "bbgen: %v\n", err)
-		os.Exit(1)
+	if err := broadband.SaveDatasetCtx(ctx, &world.Data, *out, broadband.SaveOptions{Gzip: *gz, Workers: *workers}); err != nil {
+		cli.Exit("bbgen", err, 1)
 	}
 	fmt.Fprintf(os.Stderr, "bbgen: wrote %d users, %d switches, %d plans to %s in %v\n",
 		len(world.Data.Users), len(world.Data.Switches), len(world.Data.Plans), *out,

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"github.com/nwca/broadband/internal/cli"
 	"github.com/nwca/broadband/internal/market"
 	"github.com/nwca/broadband/internal/randx"
 )
@@ -26,6 +27,10 @@ func main() {
 		regions = flag.Bool("regions", false, "show regional upgrade-cost shares")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM stops the per-country sweep at the next market.
+	ctx, stop := cli.Context()
+	defer stop()
 
 	profiles := market.World()
 	catalogs := market.BuildAllCatalogs(profiles, randx.New(*seed).Split("catalogs"))
@@ -96,6 +101,9 @@ func main() {
 	sort.Strings(codes)
 	fmt.Printf("%-4s %-22s %-28s %10s %14s %6s\n", "cc", "country", "region", "access", "upgrade", "plans")
 	for _, cc := range codes {
+		if err := ctx.Err(); err != nil {
+			cli.Exit("bbmarket", err, 1)
+		}
 		cat := catalogs[cc]
 		sum, err := market.Summarize(cat)
 		if err != nil {

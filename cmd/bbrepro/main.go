@@ -16,6 +16,7 @@ import (
 	"time"
 
 	broadband "github.com/nwca/broadband"
+	"github.com/nwca/broadband/internal/cli"
 	"github.com/nwca/broadband/internal/golden"
 	"github.com/nwca/broadband/internal/par"
 )
@@ -49,19 +50,22 @@ func main() {
 		return
 	}
 
+	// Ctrl-C / SIGTERM cancels generation and the experiment fan-out.
+	ctx, stop := cli.Context()
+	defer stop()
+
 	start := time.Now()
 	var data *broadband.Dataset
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "bbrepro: loading dataset from %s...\n", *dataDir)
 		loaded, err := broadband.LoadDataset(*dataDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
-			os.Exit(1)
+			cli.Exit("bbrepro", err, 1)
 		}
 		data = loaded
 	} else {
 		fmt.Fprintf(os.Stderr, "bbrepro: generating world (seed=%d, users=%d)...\n", *seed, *users)
-		world, err := broadband.BuildWorld(broadband.WorldConfig{
+		world, err := broadband.BuildWorldCtx(ctx, broadband.WorldConfig{
 			Seed:          *seed,
 			Users:         *users,
 			FCCUsers:      *fcc,
@@ -71,8 +75,7 @@ func main() {
 			Workers:       *workers,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bbrepro: %v\n", err)
-			os.Exit(1)
+			cli.Exit("bbrepro", err, 1)
 		}
 		if n := world.SkippedHouseholds(); n > 0 {
 			fmt.Fprintf(os.Stderr, "bbrepro: %d households skipped (no affordable plan after every redraw)\n", n)
@@ -99,13 +102,17 @@ func main() {
 	// Fan the artifacts out over the worker pool; results are collected by
 	// index so the printed order matches the registry whatever the worker
 	// interleaving. Every failure is reported (not just the first) and any
-	// failure makes the run exit non-zero.
+	// failure makes the run exit non-zero. An experiment error does not stop
+	// the others — only cancellation stops dispatch.
 	reports := make([]broadband.Report, len(entries))
 	errs := make([]error, len(entries))
-	_ = par.ForN(par.Workers(*workers), len(entries), func(i int) error {
+	ctxErr := par.ForNCtx(ctx, par.Workers(*workers), len(entries), func(i int) error {
 		reports[i], errs[i] = broadband.Run(entries[i].ID, data, *seed)
-		return errs[i]
+		return nil
 	})
+	if ctxErr != nil {
+		cli.Exit("bbrepro", ctxErr, 1)
+	}
 	failed := 0
 	for i, e := range entries {
 		if errs[i] != nil {

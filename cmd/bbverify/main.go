@@ -25,6 +25,8 @@ import (
 	"time"
 
 	broadband "github.com/nwca/broadband"
+	"github.com/nwca/broadband/internal/cli"
+	"github.com/nwca/broadband/internal/fsx"
 	"github.com/nwca/broadband/internal/golden"
 	"github.com/nwca/broadband/internal/par"
 )
@@ -51,6 +53,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C / SIGTERM cancels generation and the fan-out; golden and
+	// report writes are atomic, so an interrupted -update cannot leave a
+	// half-written golden.
+	ctx, stop := cli.Context()
+	defer stop()
+
 	start := time.Now()
 	var data *broadband.Dataset
 	if *dataDir != "" {
@@ -60,7 +68,7 @@ func main() {
 		}
 		data = loaded
 	} else {
-		world, err := broadband.BuildWorld(broadband.WorldConfig{
+		world, err := broadband.BuildWorldCtx(ctx, broadband.WorldConfig{
 			Seed:          *seed,
 			Users:         *users,
 			FCCUsers:      *fcc,
@@ -70,7 +78,7 @@ func main() {
 			Workers:       *workers,
 		})
 		if err != nil {
-			fail("%v", err)
+			cli.Exit("bbverify", err, 2)
 		}
 		data = &world.Data
 	}
@@ -78,12 +86,15 @@ func main() {
 	entries := broadband.Experiments()
 	arts := make([]golden.Artifact, len(entries))
 	runErrs := make([]error, len(entries))
-	_ = par.ForN(par.Workers(*workers), len(entries), func(i int) error {
+	ctxErr := par.ForNCtx(ctx, par.Workers(*workers), len(entries), func(i int) error {
 		rep, err := broadband.Run(entries[i].ID, data, *seed)
 		arts[i] = golden.Artifact{ID: entries[i].ID, Obj: rep}
 		runErrs[i] = err
-		return err
+		return nil
 	})
+	if ctxErr != nil {
+		cli.Exit("bbverify", ctxErr, 2)
+	}
 	for i, e := range entries {
 		if runErrs[i] != nil {
 			fail("%s: %v", e.ID, runErrs[i])
@@ -114,7 +125,7 @@ func main() {
 	}
 	fmt.Print(r.Render())
 	if *report != "" {
-		if err := os.WriteFile(*report, r.JSON(), 0o644); err != nil {
+		if err := fsx.WriteFileAtomic(*report, r.JSON(), 0o644); err != nil {
 			fail("%v", err)
 		}
 	}

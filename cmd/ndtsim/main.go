@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/nwca/broadband/internal/cli"
 	"github.com/nwca/broadband/internal/netsim"
 	"github.com/nwca/broadband/internal/randx"
 	"github.com/nwca/broadband/internal/unit"
@@ -31,6 +32,11 @@ func main() {
 		loaded   = flag.Bool("loaded", false, "also measure latency under load (bufferbloat)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM stops between measurement phases (each phase runs in
+	// virtual time and finishes in well under a second of wall clock).
+	ctx, stop := cli.Context()
+	defer stop()
 
 	downRate, err := unit.ParseBitrate(*down)
 	if err != nil {
@@ -60,6 +66,9 @@ func main() {
 
 	fmt.Printf("line: %v down / %v up, base RTT %v, loss %v (burst=%v)\n",
 		downRate, upRate, *rtt, loss, *burst)
+	if err := ctx.Err(); err != nil {
+		cli.Exit("ndtsim", err, 1)
+	}
 	res, err := netsim.RunNDT(line, netsim.NDTConfig{Duration: *duration}, randx.New(*seed))
 	if err != nil {
 		fatal(err)
@@ -76,6 +85,9 @@ func main() {
 	fmt.Printf("mathis bound: %v\n", mathis)
 
 	if *loaded {
+		if err := ctx.Err(); err != nil {
+			cli.Exit("ndtsim", err, 1)
+		}
 		lr, err := netsim.MeasureLoadedRTT(line, *duration, randx.New(*seed).Split("loaded"))
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,210 @@
+// Package chaos is the deterministic fault injector behind the pipeline's
+// robustness tests: it perturbs dataset files and I/O streams with the
+// pathologies real measurement panels carry — dropped, duplicated and
+// reordered samples, counter resets and wraparounds, clock skew, garbage
+// fields, truncated shards, corrupt gzip members, and transient I/O errors.
+//
+// Determinism is the contract. Every fault decision derives from the
+// injector seed, the table name and the row (or I/O call) index through the
+// same splittable-RNG scheme the world generator uses, so the same seed
+// produces a byte-identical fault pattern — in the perturbed files and in
+// the event log — whatever directory the dataset lives in and however many
+// times the run repeats. That is what lets a chaos failure be replayed
+// exactly from nothing but its seed.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// Fault enumerates the injectable fault classes.
+type Fault int
+
+const (
+	// DropRow removes a data row — a lost sample. Invisible to ingestion
+	// by design (a panel cannot know what was never uploaded); visible
+	// only in the injection log.
+	DropRow Fault = iota
+	// DuplicateRow emits a data row twice — a re-uploaded sample. The
+	// robust loader demotes duplicate user IDs; duplicated survey rows
+	// are visible only in the log.
+	DuplicateRow
+	// SwapRows exchanges a row with its successor — out-of-order arrival.
+	// Records are order-independent, so this perturbs transport without
+	// perturbing semantics.
+	SwapRows
+	// CounterReset rewrites a cumulative-counter-derived field to a
+	// negative value, the signature of a counter that reset mid-window.
+	CounterReset
+	// Wraparound rewrites a rate field to an absurd magnitude (a 32-bit
+	// counter wrap).
+	Wraparound
+	// ClockSkew moves a row's observation year decades outside the panel
+	// window.
+	ClockSkew
+	// GarbageField replaces a parsed field with NaN or unparseable bytes.
+	GarbageField
+	// TruncateShard cuts a table file off mid-stream.
+	TruncateShard
+	// CorruptGzip flips a byte inside a gzip member, breaking the deflate
+	// stream or its checksum.
+	CorruptGzip
+	// ReadFault is a transient error injected by a wrapped io.Reader.
+	ReadFault
+	// WriteFault is a transient error injected by a wrapped io.Writer.
+	WriteFault
+)
+
+var faultNames = [...]string{
+	"drop-row", "duplicate-row", "swap-rows", "counter-reset", "wraparound",
+	"clock-skew", "garbage-field", "truncate-shard", "corrupt-gzip",
+	"read-fault", "write-fault",
+}
+
+// String names the fault the way logs and reports render it.
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// MarshalJSON renders the fault as its name.
+func (f Fault) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + f.String() + `"`), nil
+}
+
+// RowFaults lists the row-level fault classes PerturbDir can inject.
+var RowFaults = []Fault{
+	DropRow, DuplicateRow, SwapRows, CounterReset, Wraparound, ClockSkew, GarbageField,
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives every fault decision; equal seeds produce byte-identical
+	// fault patterns.
+	Seed uint64
+	// Rate is the per-row fault probability in [0, 1].
+	Rate float64
+	// Faults restricts the row-level classes injected (nil or empty = all
+	// of RowFaults). Classes inapplicable to a table (ClockSkew outside
+	// the users table) are skipped there.
+	Faults []Fault
+	// TruncateProb is the per-table probability of shard truncation.
+	TruncateProb float64
+	// CorruptProb is the per-table probability of gzip corruption
+	// (gzip-transported tables only).
+	CorruptProb float64
+}
+
+// Event is one injected fault.
+type Event struct {
+	// File is the table base name (users.csv, switches.csv, plans.csv).
+	File string `json:"file"`
+	// Row is the 1-based physical row in the pre-perturbation file (the
+	// header is row 1); 0 for file-level and I/O faults.
+	Row int `json:"row,omitempty"`
+	// Fault is the injected class.
+	Fault Fault `json:"fault"`
+	// Detail describes the concrete mutation ("col 16 <- -412").
+	Detail string `json:"detail,omitempty"`
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.File)
+	if e.Row > 0 {
+		fmt.Fprintf(&b, " row %d", e.Row)
+	}
+	fmt.Fprintf(&b, " [%s]", e.Fault)
+	if e.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Detail)
+	}
+	return b.String()
+}
+
+// Log records every injected fault in injection order. The log is part of
+// the deterministic output: same seed, same log.
+type Log struct {
+	Events []Event `json:"events"`
+}
+
+func (l *Log) add(file string, row int, f Fault, detail string) {
+	l.Events = append(l.Events, Event{File: file, Row: row, Fault: f, Detail: detail})
+}
+
+// Counts tallies the injected faults per class.
+func (l *Log) Counts() map[Fault]int {
+	out := make(map[Fault]int)
+	for _, e := range l.Events {
+		out[e.Fault]++
+	}
+	return out
+}
+
+// Render formats the log for humans: the aggregate line plus up to
+// maxEvents individual injections.
+func (l *Log) Render() string {
+	var b strings.Builder
+	counts := l.Counts()
+	classes := make([]Fault, 0, len(counts))
+	for f := range counts {
+		classes = append(classes, f)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	parts := make([]string, 0, len(classes))
+	for _, f := range classes {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[f], f))
+	}
+	fmt.Fprintf(&b, "chaos: injected %d faults", len(l.Events))
+	if len(parts) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+	}
+	b.WriteString("\n")
+	const maxEvents = 20
+	for i, e := range l.Events {
+		if i == maxEvents {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(l.Events)-maxEvents)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// Injector injects deterministic faults. Safe for concurrent use: all
+// state is the immutable config and the root RNG seed (splits never mutate
+// the parent).
+type Injector struct {
+	cfg  Config
+	root *randx.Source
+}
+
+// New returns an injector for the configuration.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, root: randx.New(cfg.Seed)}
+}
+
+// rowFaultsFor resolves the enabled row-level classes for a table spec.
+func (in *Injector) rowFaultsFor(spec tableSpec) []Fault {
+	enabled := in.cfg.Faults
+	if len(enabled) == 0 {
+		enabled = RowFaults
+	}
+	out := make([]Fault, 0, len(enabled))
+	for _, f := range enabled {
+		if f == ClockSkew && spec.yearCol < 0 {
+			continue
+		}
+		switch f {
+		case DropRow, DuplicateRow, SwapRows, CounterReset, Wraparound, ClockSkew, GarbageField:
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+)
+
+// FaultError is the typed error the flaky I/O wrappers inject. It
+// identifies the operation, the stream and the 1-based call index, so a
+// failure is replayable from the seed alone.
+type FaultError struct {
+	Op   string // "read" or "write"
+	File string
+	Call int
+}
+
+// Error renders "chaos: injected read fault on users.csv (call 3)".
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault on %s (call %d)", e.Op, e.File, e.Call)
+}
+
+// flakyReader injects deterministic transient read failures: whether call
+// n fails is a pure function of (seed, file, n), independent of buffer
+// sizes the caller happens to use for other streams.
+type flakyReader struct {
+	in   *Injector
+	r    io.Reader
+	file string
+	rate float64
+	call int
+}
+
+// FlakyReader wraps r so each Read call fails with a *FaultError with the
+// given probability, deterministically in the injector seed and the call
+// index. Failed calls consume nothing from the underlying stream — a
+// retrying caller sees the same bytes a fault-free run would.
+func (in *Injector) FlakyReader(file string, r io.Reader, rate float64) io.Reader {
+	return &flakyReader{in: in, r: r, file: file, rate: rate}
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	f.call++
+	if f.in.root.SplitN("io|read|"+f.file, f.call).Bool(f.rate) {
+		return 0, &FaultError{Op: "read", File: f.file, Call: f.call}
+	}
+	return f.r.Read(p)
+}
+
+// flakyWriter is flakyReader for the write side.
+type flakyWriter struct {
+	in   *Injector
+	w    io.Writer
+	file string
+	rate float64
+	call int
+}
+
+// FlakyWriter wraps w so each Write call fails with a *FaultError with the
+// given probability, deterministically in the injector seed and the call
+// index. Failed calls write nothing.
+func (in *Injector) FlakyWriter(file string, w io.Writer, rate float64) io.Writer {
+	return &flakyWriter{in: in, w: w, file: file, rate: rate}
+}
+
+func (f *flakyWriter) Write(p []byte) (int, error) {
+	f.call++
+	if f.in.root.SplitN("io|write|"+f.file, f.call).Bool(f.rate) {
+		return 0, &FaultError{Op: "write", File: f.file, Call: f.call}
+	}
+	return f.w.Write(p)
+}

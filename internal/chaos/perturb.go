@@ -1,0 +1,268 @@
+package chaos
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/nwca/broadband/internal/fsx"
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// tableSpec describes where each fault class can land in one table. Column
+// indices are 0-based positions in the CSV schema (see internal/dataset).
+type tableSpec struct {
+	cols int
+	// resetCols are counter-derived rate fields a reset drives negative.
+	resetCols []int
+	// wrapCols are rate fields a 32-bit wraparound inflates.
+	wrapCols []int
+	// yearCol is the observation-year column (-1 = table has no clock).
+	yearCol int
+	// nanCols are float fields where "NaN" parses and must be caught at
+	// domain validation rather than at parse time.
+	nanCols []int
+	// garbageCols are all parsed (non-string) fields.
+	garbageCols []int
+}
+
+// tableSpecs maps the dataset base names to their fault geometry.
+var tableSpecs = map[string]tableSpec{
+	"users.csv": {
+		cols:        24,
+		resetCols:   []int{11, 12, 16, 17, 18, 19},
+		wrapCols:    []int{11, 16, 17},
+		yearCol:     3,
+		nanCols:     []int{11, 12, 13, 16, 17, 18, 19},
+		garbageCols: []int{0, 2, 3, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23},
+	},
+	"switches.csv": {
+		cols:        14,
+		resetCols:   []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+		wrapCols:    []int{4, 5, 6, 7},
+		yearCol:     -1,
+		nanCols:     []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+		garbageCols: []int{0, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+	},
+	"plans.csv": {
+		cols:        9,
+		resetCols:   []int{2, 3},
+		wrapCols:    []int{2},
+		yearCol:     -1,
+		nanCols:     []int{2, 3, 5},
+		garbageCols: []int{2, 3, 4, 5, 6, 7, 8},
+	},
+}
+
+// Tables lists the dataset base names PerturbDir perturbs, in order.
+var Tables = []string{"users.csv", "switches.csv", "plans.csv"}
+
+// PerturbCSV applies the configured row-level faults to one table's CSV
+// bytes and returns the perturbed bytes plus the injection log. base must
+// be one of Tables — it selects the fault geometry and keys the RNG
+// derivation, so the fault pattern is a pure function of (seed, base, row).
+func (in *Injector) PerturbCSV(base string, data []byte) ([]byte, *Log, error) {
+	log := &Log{}
+	out, err := in.perturbCSV(base, data, log)
+	return out, log, err
+}
+
+func (in *Injector) perturbCSV(base string, data []byte, log *Log) ([]byte, error) {
+	spec, ok := tableSpecs[base]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown table %q", base)
+	}
+	faults := in.rowFaultsFor(spec)
+	if len(faults) == 0 || in.cfg.Rate <= 0 {
+		return data, nil
+	}
+	s := string(data)
+	trailing := strings.HasSuffix(s, "\n")
+	if trailing {
+		s = s[:len(s)-1]
+	}
+	lines := strings.Split(s, "\n")
+	out := make([]string, 0, len(lines)+8)
+	if len(lines) > 0 {
+		out = append(out, lines[0]) // the header is never perturbed
+	}
+	for k := 1; k < len(lines); {
+		row := lines[k]
+		line := k + 1 // physical 1-based row; header is row 1
+		rng := in.root.SplitN("row|"+base, line)
+		if !rng.Bool(in.cfg.Rate) {
+			out = append(out, row)
+			k++
+			continue
+		}
+		switch f := faults[rng.IntN(len(faults))]; f {
+		case DropRow:
+			log.add(base, line, f, "")
+			k++
+		case DuplicateRow:
+			out = append(out, row, row)
+			log.add(base, line, f, "")
+			k++
+		case SwapRows:
+			if k+1 < len(lines) {
+				out = append(out, lines[k+1], row)
+				log.add(base, line, f, fmt.Sprintf("swapped with row %d", line+1))
+				k += 2
+			} else {
+				out = append(out, row) // no successor: nothing to swap
+				k++
+			}
+		default:
+			mut, detail, ok := mutateRow(rng, f, spec, row)
+			if ok {
+				out = append(out, mut)
+				log.add(base, line, f, detail)
+			} else {
+				out = append(out, row)
+			}
+			k++
+		}
+	}
+	res := strings.Join(out, "\n")
+	if trailing {
+		res += "\n"
+	}
+	return []byte(res), nil
+}
+
+// mutateRow applies a field-level fault to one CSV row. Rows whose naive
+// comma split disagrees with the schema (a quoted field containing a comma)
+// are left untouched — determinism is preserved because the decision
+// depends only on the row's own bytes.
+func mutateRow(rng *randx.Source, f Fault, spec tableSpec, row string) (string, string, bool) {
+	fields := strings.Split(row, ",")
+	if len(fields) != spec.cols {
+		return row, "", false
+	}
+	var col int
+	var v string
+	switch f {
+	case CounterReset:
+		col = spec.resetCols[rng.IntN(len(spec.resetCols))]
+		v = "-" + strconv.Itoa(1+rng.IntN(900))
+	case Wraparound:
+		col = spec.wrapCols[rng.IntN(len(spec.wrapCols))]
+		v = "4294967296" // 2^32 Mbps: an unmistakable 32-bit counter wrap
+	case ClockSkew:
+		col = spec.yearCol
+		skews := []string{"1970", "2038", "2069"}
+		v = skews[rng.IntN(len(skews))]
+	case GarbageField:
+		col = spec.garbageCols[rng.IntN(len(spec.garbageCols))]
+		if containsInt(spec.nanCols, col) && rng.Bool(0.5) {
+			v = "NaN"
+		} else {
+			garbage := []string{"??", "x7!", "1e999", ""}
+			v = garbage[rng.IntN(len(garbage))]
+		}
+	default:
+		return row, "", false
+	}
+	fields[col] = v
+	return strings.Join(fields, ","), fmt.Sprintf("col %d <- %q", col, v), true
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PerturbDir perturbs a dataset directory in place: each table (plain or
+// .gz) gets the configured row faults, then possibly a file-level fault —
+// shard truncation or, for gzip transport, a corrupt member. Rewrites are
+// atomic (temp file + rename), so even the injector cannot leave a
+// half-written file; the injected truncation is exact and logged. The log
+// is returned even on error.
+func (in *Injector) PerturbDir(dir string) (*Log, error) {
+	log := &Log{}
+	for _, base := range Tables {
+		if err := in.perturbFile(dir, base, log); err != nil {
+			return log, err
+		}
+	}
+	return log, nil
+}
+
+func (in *Injector) perturbFile(dir, base string, log *Log) error {
+	path := filepath.Join(dir, base)
+	gz := false
+	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		path += ".gz"
+		gz = true
+	} else if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	text := raw
+	if gz {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("chaos: %s: %w", path, err)
+		}
+		if text, err = io.ReadAll(zr); err != nil {
+			return fmt.Errorf("chaos: %s: %w", path, err)
+		}
+		if err := zr.Close(); err != nil {
+			return fmt.Errorf("chaos: %s: %w", path, err)
+		}
+	}
+	text, err = in.perturbCSV(base, text, log)
+	if err != nil {
+		return err
+	}
+	out := text
+	if gz {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(text); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		out = buf.Bytes()
+	}
+
+	// File-level faults. The draw order is fixed (truncate, then corrupt)
+	// so the pattern is independent of which fault actually applies.
+	frng := in.root.Split("shard|" + base)
+	truncate := frng.Bool(in.cfg.TruncateProb)
+	corrupt := frng.Bool(in.cfg.CorruptProb) && gz
+	switch {
+	case corrupt && len(out) > 20:
+		// Flip one byte past the 10-byte member header: the deflate stream
+		// or the trailing CRC can no longer validate.
+		off := 10 + frng.IntN(len(out)-18)
+		out = append([]byte(nil), out...)
+		out[off] ^= 0xff
+		log.add(base, 0, CorruptGzip, fmt.Sprintf("flipped byte at offset %d", off))
+	case truncate && len(out) > 1:
+		total := len(out)
+		keep := int(float64(total) * (0.3 + 0.6*frng.Float64()))
+		if keep < 1 {
+			keep = 1
+		}
+		out = out[:keep]
+		log.add(base, 0, TruncateShard, fmt.Sprintf("cut to %d of %d bytes", keep, total))
+	}
+	return fsx.WriteFileAtomic(path, out, 0o644)
+}

@@ -3,12 +3,14 @@ package dataset
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"github.com/nwca/broadband/internal/fsx"
 	"github.com/nwca/broadband/internal/market"
 	"github.com/nwca/broadband/internal/traffic"
 	"github.com/nwca/broadband/internal/unit"
@@ -208,17 +210,29 @@ func (d *Dataset) SaveDir(dir string) error {
 }
 
 // SaveDirWith is SaveDir with explicit transport and parallelism options.
-// A file that fails mid-write is removed rather than left partial, and
-// every file handle is closed (and its close error checked) exactly once.
+// Each table is staged in a temp file and renamed into place only after a
+// complete write, so no failure mode leaves a partial table at a final
+// path.
 func (d *Dataset) SaveDirWith(dir string, opts SaveOptions) error {
+	return d.SaveDirCtx(context.Background(), dir, opts)
+}
+
+// SaveDirCtx is SaveDirWith with cancellation: when ctx is cancelled the
+// in-flight table write stops at the next row, its staging file is
+// removed, and tables already committed remain complete — an interrupted
+// save never leaves a partial artifact.
+func (d *Dataset) SaveDirCtx(ctx context.Context, dir string, opts SaveOptions) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	write := func(name string, fn func(io.Writer) error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if opts.Gzip {
 			name += ".gz"
 		}
-		if err := writeTable(filepath.Join(dir, name), opts.Gzip, fn); err != nil {
+		if err := writeTableCtx(ctx, filepath.Join(dir, name), opts.Gzip, fn); err != nil {
 			return fmt.Errorf("dataset: writing %s: %w", name, err)
 		}
 		return nil
@@ -232,16 +246,37 @@ func (d *Dataset) SaveDirWith(dir string, opts SaveOptions) error {
 	return write("plans.csv", func(w io.Writer) error { return WritePlansParallel(w, d.Plans, opts.Workers) })
 }
 
-// writeTable creates path and runs fn over a buffered (optionally
-// gzip-compressed) writer. The file handle is closed — and its close error
-// checked — exactly once on every path, and a file left partial by any
-// failure is removed so a later LoadDir cannot trip over it.
+// ctxWriter fails every Write once its context is cancelled, bounding how
+// much work a cancelled table write performs after the signal.
+type ctxWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (c *ctxWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.w.Write(p)
+}
+
+// writeTable stages path in a temp sibling and runs fn over a buffered
+// (optionally gzip-compressed) writer, renaming into place only after a
+// complete, flushed write. Any failure abandons the staging file, so the
+// final path either keeps its previous content or does not exist — a later
+// LoadDir can never trip over a partial table.
 func writeTable(path string, gz bool, fn func(io.Writer) error) error {
-	fp, err := os.Create(path)
+	return writeTableCtx(context.Background(), path, gz, fn)
+}
+
+// writeTableCtx is writeTable with per-write cancellation checks.
+func writeTableCtx(ctx context.Context, path string, gz bool, fn func(io.Writer) error) error {
+	fp, err := fsx.CreateAtomic(path)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriterSize(fp, 1<<16)
+	defer fp.Close()
+	bw := bufio.NewWriterSize(&ctxWriter{ctx: ctx, w: fp}, 1<<16)
 	var w io.Writer = bw
 	var zw *gzip.Writer
 	if gz {
@@ -255,15 +290,10 @@ func writeTable(path string, gz bool, fn func(io.Writer) error) error {
 	if err == nil {
 		err = bw.Flush()
 	}
-	// One Close, its error kept only when the write itself succeeded (a
-	// write error is the root cause to report).
-	if cerr := fp.Close(); err == nil {
-		err = cerr
-	}
 	if err != nil {
-		os.Remove(path)
+		return err
 	}
-	return err
+	return fp.Commit()
 }
 
 func checkHeader(got, want []string) error {

@@ -18,16 +18,16 @@ import (
 func LoadDir(dir string) (*Dataset, error) {
 	d := &Dataset{Markets: make(map[string]market.MarketSummary)}
 
-	read := func(base string, fn func(io.Reader) error) error {
-		rc, err := openTable(dir, base)
+	read := func(base string, fn func(io.Reader, string) error) error {
+		rc, path, err := openTablePath(dir, base)
 		if err != nil {
 			return err
 		}
 		defer rc.Close()
-		return fn(rc)
+		return fn(rc, path)
 	}
-	if err := read("users.csv", func(r io.Reader) error {
-		ur, err := NewUserReader(r)
+	if err := read("users.csv", func(r io.Reader, path string) error {
+		ur, err := NewUserReaderFile(r, path)
 		if err != nil {
 			return err
 		}
@@ -45,8 +45,8 @@ func LoadDir(dir string) (*Dataset, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("dataset: loading users: %w", err)
 	}
-	if err := read("switches.csv", func(r io.Reader) error {
-		sr, err := NewSwitchReader(r)
+	if err := read("switches.csv", func(r io.Reader, path string) error {
+		sr, err := NewSwitchReaderFile(r, path)
 		if err != nil {
 			return err
 		}
@@ -64,8 +64,8 @@ func LoadDir(dir string) (*Dataset, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("dataset: loading switches: %w", err)
 	}
-	if err := read("plans.csv", func(r io.Reader) error {
-		pr, err := NewPlanReader(r)
+	if err := read("plans.csv", func(r io.Reader, path string) error {
+		pr, err := NewPlanReaderFile(r, path)
 		if err != nil {
 			return err
 		}

@@ -1,7 +1,10 @@
 package dataset
 
 import (
+	"compress/flate"
+	"compress/gzip"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -223,21 +226,47 @@ func NewPlanWriter(w io.Writer) (*PlanWriter, error) {
 // Write appends one plan row.
 func (w *PlanWriter) Write(p *market.Plan) error { return encodePlan(&w.w, p) }
 
+// wrapReadErr converts a csv.Reader error into the typed *RowError every
+// dataset load reports. Structural CSV faults (field count, quoting) carry
+// the line the csv package recorded and are recoverable — the reader
+// resumes at the next record. Transport faults (gzip corruption, a stream
+// cut mid-record, any other I/O failure) are terminal: the rest of the
+// file is unreadable.
+func wrapReadErr(file string, err error) error {
+	var re *RowError
+	if errors.As(err, &re) {
+		return err
+	}
+	var pe *csv.ParseError
+	if errors.As(err, &pe) {
+		return &RowError{File: file, Row: pe.Line, Class: FaultSyntax, Err: err}
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, gzip.ErrChecksum) || errors.Is(err, gzip.ErrHeader) {
+		return &RowError{File: file, Class: FaultTruncated, Err: err}
+	}
+	var fe flate.CorruptInputError
+	if errors.As(err, &fe) {
+		return &RowError{File: file, Class: FaultTruncated, Err: err}
+	}
+	return &RowError{File: file, Class: FaultIO, Err: err}
+}
+
 // newStreamReader validates the header and returns a csv.Reader configured
 // for record-at-a-time reading: the record slice is reused across rows and
-// the header's field count is enforced on every subsequent row.
-func newStreamReader(r io.Reader, table string, header []string) (*csv.Reader, error) {
+// the header's field count is enforced on every subsequent row. Header
+// faults are typed *RowError values anchored at row 1.
+func newStreamReader(r io.Reader, file string, header []string) (*csv.Reader, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	hdr, err := cr.Read()
 	if err == io.EOF {
-		return nil, fmt.Errorf("dataset: empty %s file", table)
+		return nil, &RowError{File: file, Row: 1, Class: FaultTruncated, Err: errors.New("empty file (no header)")}
 	}
 	if err != nil {
-		return nil, fmt.Errorf("dataset: %s header: %w", table, err)
+		return nil, wrapReadErr(file, err)
 	}
 	if err := checkHeader(hdr, header); err != nil {
-		return nil, err
+		return nil, &RowError{File: file, Row: 1, Class: FaultSyntax, Err: err}
 	}
 	cr.FieldsPerRecord = len(header)
 	return cr, nil
@@ -245,93 +274,150 @@ func newStreamReader(r io.Reader, table string, header []string) (*csv.Reader, e
 
 // UserReader iterates a users CSV one record at a time with constant
 // memory. Read fills the caller's User and returns io.EOF after the last
-// row; parse errors carry the 1-based row number (the header is row 1).
+// row; every other error is a *RowError carrying the file, the 1-based row
+// number (the header is row 1) and the fault class.
 type UserReader struct {
-	cr  *csv.Reader
-	row int
+	cr   *csv.Reader
+	file string
+	row  int
 }
 
-// NewUserReader validates the users header and returns the iterator.
+// NewUserReader validates the users header and returns the iterator. Load
+// errors name the table; use NewUserReaderFile to carry a real path.
 func NewUserReader(r io.Reader) (*UserReader, error) {
-	cr, err := newStreamReader(r, "users", userHeader)
+	return NewUserReaderFile(r, "users")
+}
+
+// NewUserReaderFile is NewUserReader with an explicit file name (typically
+// the path being read) stamped onto every error.
+func NewUserReaderFile(r io.Reader, file string) (*UserReader, error) {
+	cr, err := newStreamReader(r, file, userHeader)
 	if err != nil {
 		return nil, err
 	}
-	return &UserReader{cr: cr, row: 1}, nil
+	return &UserReader{cr: cr, file: file, row: 1}, nil
 }
+
+// Row reports the 1-based line of the record Read last returned (or, after
+// an error, of the record it failed on).
+func (r *UserReader) Row() int { return r.row }
 
 // Read parses the next user into u. It returns io.EOF at end of stream,
 // leaving u unspecified.
 func (r *UserReader) Read(u *User) error {
 	rec, err := r.cr.Read()
 	if err != nil {
-		return err // io.EOF, or a csv error already carrying the line
+		if err == io.EOF {
+			return err
+		}
+		err = wrapReadErr(r.file, err)
+		var re *RowError
+		if errors.As(err, &re) && re.Row > 0 {
+			r.row = re.Row
+		}
+		return err
 	}
-	r.row++
+	// FieldPos gives the record's physical start line, so numbering stays
+	// exact even after a structurally bad row was skipped.
+	r.row, _ = r.cr.FieldPos(0)
 	p := &parser{rec: rec}
 	decodeUser(p, u)
 	if p.err != nil {
-		return fmt.Errorf("dataset: users row %d: %w", r.row, p.err)
+		return &RowError{File: r.file, Row: r.row, Class: FaultParse, Err: p.err}
 	}
 	return nil
 }
 
 // SwitchReader iterates a switches CSV; see UserReader.
 type SwitchReader struct {
-	cr  *csv.Reader
-	row int
+	cr   *csv.Reader
+	file string
+	row  int
 }
 
 // NewSwitchReader validates the switches header and returns the iterator.
 func NewSwitchReader(r io.Reader) (*SwitchReader, error) {
-	cr, err := newStreamReader(r, "switches", switchHeader)
+	return NewSwitchReaderFile(r, "switches")
+}
+
+// NewSwitchReaderFile is NewSwitchReader with an explicit file name.
+func NewSwitchReaderFile(r io.Reader, file string) (*SwitchReader, error) {
+	cr, err := newStreamReader(r, file, switchHeader)
 	if err != nil {
 		return nil, err
 	}
-	return &SwitchReader{cr: cr, row: 1}, nil
+	return &SwitchReader{cr: cr, file: file, row: 1}, nil
 }
+
+// Row reports the 1-based line of the record Read last returned.
+func (r *SwitchReader) Row() int { return r.row }
 
 // Read parses the next switch into s, returning io.EOF at end of stream.
 func (r *SwitchReader) Read(s *Switch) error {
 	rec, err := r.cr.Read()
 	if err != nil {
+		if err == io.EOF {
+			return err
+		}
+		err = wrapReadErr(r.file, err)
+		var re *RowError
+		if errors.As(err, &re) && re.Row > 0 {
+			r.row = re.Row
+		}
 		return err
 	}
-	r.row++
+	r.row, _ = r.cr.FieldPos(0)
 	p := &parser{rec: rec}
 	decodeSwitch(p, s)
 	if p.err != nil {
-		return fmt.Errorf("dataset: switches row %d: %w", r.row, p.err)
+		return &RowError{File: r.file, Row: r.row, Class: FaultParse, Err: p.err}
 	}
 	return nil
 }
 
 // PlanReader iterates a plan-survey CSV; see UserReader.
 type PlanReader struct {
-	cr  *csv.Reader
-	row int
+	cr   *csv.Reader
+	file string
+	row  int
 }
 
 // NewPlanReader validates the plans header and returns the iterator.
 func NewPlanReader(r io.Reader) (*PlanReader, error) {
-	cr, err := newStreamReader(r, "plans", planHeader)
+	return NewPlanReaderFile(r, "plans")
+}
+
+// NewPlanReaderFile is NewPlanReader with an explicit file name.
+func NewPlanReaderFile(r io.Reader, file string) (*PlanReader, error) {
+	cr, err := newStreamReader(r, file, planHeader)
 	if err != nil {
 		return nil, err
 	}
-	return &PlanReader{cr: cr, row: 1}, nil
+	return &PlanReader{cr: cr, file: file, row: 1}, nil
 }
+
+// Row reports the 1-based line of the record Read last returned.
+func (r *PlanReader) Row() int { return r.row }
 
 // Read parses the next plan into p, returning io.EOF at end of stream.
 func (r *PlanReader) Read(pl *market.Plan) error {
 	rec, err := r.cr.Read()
 	if err != nil {
+		if err == io.EOF {
+			return err
+		}
+		err = wrapReadErr(r.file, err)
+		var re *RowError
+		if errors.As(err, &re) && re.Row > 0 {
+			r.row = re.Row
+		}
 		return err
 	}
-	r.row++
+	r.row, _ = r.cr.FieldPos(0)
 	p := &parser{rec: rec}
 	decodePlan(p, pl)
 	if p.err != nil {
-		return fmt.Errorf("dataset: plans row %d: %w", r.row, p.err)
+		return &RowError{File: r.file, Row: r.row, Class: FaultParse, Err: p.err}
 	}
 	return nil
 }

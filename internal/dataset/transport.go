@@ -52,9 +52,23 @@ func openPath(path string) (io.ReadCloser, error) {
 // openTable opens dir/base, falling back to dir/base.gz, so a directory
 // written with SaveOptions.Gzip loads with the same call as a plain one.
 func openTable(dir, base string) (io.ReadCloser, error) {
-	rc, err := openPath(filepath.Join(dir, base))
+	rc, _, err := openTablePath(dir, base)
+	return rc, err
+}
+
+// openTablePath is openTable returning the path actually opened, so load
+// errors can name the real file (plain or .gz). On failure the returned
+// path is the plain variant.
+func openTablePath(dir, base string) (io.ReadCloser, string, error) {
+	plain := filepath.Join(dir, base)
+	rc, err := openPath(plain)
 	if err == nil || !errors.Is(err, fs.ErrNotExist) {
-		return rc, err
+		return rc, plain, err
 	}
-	return openPath(filepath.Join(dir, base+".gz"))
+	gz := plain + ".gz"
+	rc, err = openPath(gz)
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		return nil, plain, err
+	}
+	return rc, gz, err
 }

@@ -1,0 +1,112 @@
+// Package fsx provides crash-safe filesystem primitives for the pipeline's
+// artifact writers: every output file is staged in a hidden temp file in the
+// destination directory and renamed into place only after a successful
+// write, so a crash, a write error, or a context cancellation can never
+// leave a truncated artifact at the final path. Readers therefore see either
+// the previous complete file or the new complete file, never a partial one.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicFile stages writes to path in a temporary sibling file. Commit
+// renames the staged bytes into place; Close without Commit (or after a
+// failed Commit) removes the temp file. The zero value is not usable; use
+// CreateAtomic.
+type AtomicFile struct {
+	path string
+	tmp  *os.File
+	done bool
+}
+
+// CreateAtomic opens a temp file next to path for staged writing. The temp
+// file lives in the same directory so the final rename is atomic (same
+// filesystem) and is prefixed with "." so directory scans and glob loaders
+// never pick up an in-flight artifact.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &AtomicFile{path: path, tmp: tmp}, nil
+}
+
+// Write appends to the staged file.
+func (f *AtomicFile) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Name returns the final destination path (not the temp path).
+func (f *AtomicFile) Name() string { return f.path }
+
+// Commit flushes the staged bytes durably and renames them into place. On
+// any failure the temp file is removed and the destination is untouched.
+func (f *AtomicFile) Commit() error {
+	if f.done {
+		return fmt.Errorf("fsx: %s: already committed or closed", f.path)
+	}
+	f.done = true
+	tmpName := f.tmp.Name()
+	if err := f.tmp.Sync(); err != nil {
+		f.tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, f.path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Close abandons the staged write, removing the temp file. It is a no-op
+// after Commit, so `defer f.Close()` is the standard cleanup pattern.
+func (f *AtomicFile) Close() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	f.tmp.Close()
+	return os.Remove(f.tmp.Name())
+}
+
+// WriteFileAtomic is os.WriteFile with the temp-file + rename contract: the
+// destination either keeps its old content or receives the full new content.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	f, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.tmp.Chmod(perm); err != nil {
+		return err
+	}
+	return f.Commit()
+}
+
+// CopyAtomic streams from r into path with the same staging contract.
+func CopyAtomic(path string, r io.Reader) (int64, error) {
+	f, err := CreateAtomic(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := io.Copy(f, r)
+	if err != nil {
+		return n, err
+	}
+	return n, f.Commit()
+}

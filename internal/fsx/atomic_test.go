@@ -1,0 +1,114 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Errorf("read %q, want %q", got, "second")
+	}
+}
+
+func TestAbandonedAtomicFileLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomic(path, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "keep" {
+		t.Errorf("abandoned write clobbered destination: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestCommitThenCloseIsSafe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("Close after Commit should be a no-op, got %v", err)
+	}
+	if err := f.Commit(); err == nil {
+		t.Error("double Commit should fail")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Errorf("read %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestCopyAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "copy.txt")
+	n, err := CopyAtomic(path, strings.NewReader("stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("stream")) {
+		t.Errorf("copied %d bytes", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "stream" {
+		t.Errorf("read %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// assertNoTempFiles checks that no staging files survive in dir.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("staging file left behind: %s", e.Name())
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"github.com/nwca/broadband/internal/fsx"
 )
 
 // Artifact pairs a registry ID with the typed report it produced. The
@@ -165,7 +167,7 @@ func Update(arts []Artifact, dir string) error {
 		if err != nil {
 			return fmt.Errorf("golden: %s: %w", art.ID, err)
 		}
-		if err := os.WriteFile(GoldenPath(dir, art.ID), data, 0o644); err != nil {
+		if err := fsx.WriteFileAtomic(GoldenPath(dir, art.ID), data, 0o644); err != nil {
 			return fmt.Errorf("golden: %s: %w", art.ID, err)
 		}
 	}

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,4 +68,66 @@ func ForN(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// ForNCtx is the fail-fast, cancellable variant of ForN: no new index is
+// dispatched after the first fn error or after ctx is cancelled. Indices
+// already running are allowed to finish (fn is never interrupted mid-call),
+// so caller-owned result slots are either fully written or untouched. The
+// returned error is the lowest-indexed fn error among the indices that ran;
+// if no fn failed but the context was cancelled, it is ctx.Err(). Unlike
+// ForN, not every index is guaranteed to run — use ForN when run-everything
+// semantics matter (e.g. reporting every failure, not just the first).
+func ForNCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var stop atomic.Bool
+	var next atomic.Int64
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				select {
+				case <-done:
+					stop.Store(true)
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }

@@ -54,12 +54,15 @@ func (g *generator) upgrades() error {
 	}
 	made := 0
 	for lo := 0; lo < len(order) && made < g.cfg.SwitchTarget; lo += chunk {
+		if err := g.ctx.Err(); err != nil {
+			return err
+		}
 		hi := lo + chunk
 		if hi > len(order) {
 			hi = len(order)
 		}
 		results := make([]switchResult, hi-lo)
-		err := par.ForN(workers, hi-lo, func(i int) error {
+		err := par.ForNCtx(g.ctx, workers, hi-lo, func(i int) error {
 			sw, ok, err := g.tryUpgrade(candidates[order[lo+i]])
 			results[i] = switchResult{sw: sw, ok: ok}
 			return err

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,6 +27,7 @@ const headroom = 1.85
 const incomeRef = 49797.0
 
 type generator struct {
+	ctx   context.Context
 	cfg   Config
 	world *World
 	rng   *randx.Source
@@ -107,7 +109,7 @@ func (g *generator) populate() error {
 		return err
 	}
 	results := make([]slotResult, len(slots))
-	err = par.ForN(par.Workers(g.cfg.Workers), len(slots), func(i int) error {
+	err = par.ForNCtx(g.ctx, par.Workers(g.cfg.Workers), len(slots), func(i int) error {
 		r, err := g.generateSlot(slots[i])
 		results[i] = r
 		return err

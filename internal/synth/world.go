@@ -7,6 +7,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -146,6 +147,15 @@ type GroundTruth struct {
 
 // Build generates a world.
 func Build(cfg Config) (*World, error) {
+	return BuildCtx(context.Background(), cfg)
+}
+
+// BuildCtx is Build with cancellation: generation stops at the next slot
+// (or candidate chunk) boundary once ctx is cancelled and returns ctx.Err().
+// A cancelled build returns no world — there is no partially generated
+// output to misuse. Determinism is unaffected: a run that completes under
+// any ctx is byte-identical to Build.
+func BuildCtx(ctx context.Context, cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Profiles) == 0 {
 		return nil, fmt.Errorf("synth: no market profiles")
@@ -175,7 +185,7 @@ func Build(cfg Config) (*World, error) {
 		w.Data.Plans = append(w.Data.Plans, cat.Plans...)
 	}
 
-	gen := &generator{cfg: cfg, world: w, rng: root}
+	gen := &generator{ctx: ctx, cfg: cfg, world: w, rng: root}
 	if err := gen.populate(); err != nil {
 		return nil, err
 	}

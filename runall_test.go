@@ -1,6 +1,7 @@
 package broadband
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -51,7 +52,7 @@ func TestRunEntriesFailureInjection(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			var ran atomic.Int32
 			entries := failAt(12, &ran, map[int]error{7: errLate, 3: errMid})
-			reports, err := runEntries(entries, &dataset.Dataset{}, 1, workers)
+			reports, err := runEntries(context.Background(), entries, &dataset.Dataset{}, 1, workers)
 			if !errors.Is(err, errMid) {
 				t.Fatalf("err = %v, want the lowest-indexed failure %v", err, errMid)
 			}
@@ -76,7 +77,7 @@ func TestRunEntriesErrorNamesArtifact(t *testing.T) {
 	var ran atomic.Int32
 	boom := errors.New("boom")
 	entries := failAt(5, &ran, map[int]error{2: boom})
-	_, err := runEntries(entries, &dataset.Dataset{}, 1, 2)
+	_, err := runEntries(context.Background(), entries, &dataset.Dataset{}, 1, 2)
 	if err == nil || !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
 	}
@@ -90,7 +91,7 @@ func TestRunEntriesErrorNamesArtifact(t *testing.T) {
 func TestRunEntriesAllSucceed(t *testing.T) {
 	var ran atomic.Int32
 	entries := failAt(9, &ran, nil)
-	reports, err := runEntries(entries, &dataset.Dataset{}, 1, 3)
+	reports, err := runEntries(context.Background(), entries, &dataset.Dataset{}, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
