@@ -1,0 +1,146 @@
+// Command bbbench records the repository's performance trajectory: it runs
+// the canonical benchmark set (internal/bench) and writes a BENCH_<n>.json
+// file — ns/op, allocs/op, B/op and MB/s per benchmark plus host metadata —
+// that later commits compare against with -baseline.
+//
+// Usage:
+//
+//	bbbench                               # full set → BENCH_6.json
+//	bbbench -set smoke -benchtime 100ms   # reduced CI set, shorter runs
+//	bbbench -baseline BENCH_5.json        # also gate: exit 1 on >20% regression
+//	bbbench -baseline BENCH_5.json -tolerance 0.35
+//	bbbench -list                         # enumerate specs and exit
+//
+// A regression is ns/op exceeding the baseline by more than the tolerance:
+// cur > base × (1 + tolerance). Host metadata is recorded so trajectories
+// from different machines are not mistaken for comparable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/nwca/broadband/internal/bench"
+)
+
+func main() {
+	// Register the testing flags (-test.benchtime et al.) so bbbench can
+	// forward its -benchtime to testing.Benchmark.
+	testing.Init()
+	var (
+		out       = flag.String("out", "BENCH_6.json", "trajectory file to write")
+		set       = flag.String("set", "full", "benchmark set: full or smoke")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark target time (or Nx iteration count)")
+		baseline  = flag.String("baseline", "", "prior trajectory to compare against; regressions exit nonzero")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed relative slowdown vs -baseline (0.20 = 20%)")
+		only      = flag.String("only", "", "run a single spec by name")
+		list      = flag.Bool("list", false, "list specs and exit")
+	)
+	flag.Parse()
+
+	specs, err := bench.Select(*set)
+	if err != nil {
+		fail(err)
+	}
+	if *list {
+		for _, s := range specs {
+			tag := ""
+			if s.Smoke {
+				tag = "  (smoke)"
+			}
+			fmt.Printf("%-22s%s\n", s.Name, tag)
+		}
+		return
+	}
+	if *only != "" {
+		found := false
+		for _, s := range specs {
+			if s.Name == *only {
+				specs = []bench.Spec{s}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail(fmt.Errorf("no spec named %q in set %q", *only, *set))
+		}
+	}
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fail(fmt.Errorf("bad -benchtime: %w", err))
+	}
+
+	traj := bench.NewTrajectory(time.Now())
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "bbbench: %s...\n", s.Name)
+		r, err := bench.Measure(s)
+		if err != nil {
+			fail(err)
+		}
+		line := fmt.Sprintf("%-22s %10d iters %14.1f ns/op %9d allocs/op %12d B/op",
+			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		if r.MBPerS > 0 {
+			line += fmt.Sprintf(" %10.1f MB/s", r.MBPerS)
+		}
+		fmt.Println(line)
+		traj.Benchmarks = append(traj.Benchmarks, r)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := traj.Write(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "bbbench: wrote %s (%d benchmarks)\n", *out, len(traj.Benchmarks))
+
+	if *baseline == "" {
+		return
+	}
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	base, err := bench.ReadTrajectory(bf)
+	bf.Close()
+	if err != nil {
+		fail(err)
+	}
+	if base.OS != traj.OS || base.Arch != traj.Arch {
+		fmt.Fprintf(os.Stderr, "bbbench: warning: baseline host %s/%s differs from this host %s/%s; ns/op comparison is unreliable\n",
+			base.OS, base.Arch, traj.OS, traj.Arch)
+	}
+	deltas, missing, err := bench.Compare(traj, base, *tolerance)
+	if err != nil {
+		fail(err)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "bbbench: warning: baseline benchmark %q missing from this run\n", name)
+	}
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Printf("%-22s %14.1f -> %14.1f ns/op  (%.2fx)  %s\n",
+			d.Name, d.BaseNs, d.CurNs, d.Ratio, verdict)
+	}
+	if reg := bench.Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "bbbench: %d of %d benchmarks regressed beyond %.0f%% of %s\n",
+			len(reg), len(deltas), *tolerance*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bbbench: no regressions vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "bbbench: %v\n", err)
+	os.Exit(2)
+}

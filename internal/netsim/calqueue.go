@@ -1,0 +1,339 @@
+package netsim
+
+import "math"
+
+// calendarQueue is the Simulator's event queue: a calendar queue (Brown,
+// CACM 1988) — a ring of time buckets of fixed width, each holding its
+// events in sorted order, with a cursor that sweeps the ring in virtual-
+// bucket order. Schedule and pop are O(1) amortized when the bucket width
+// tracks the mean event spacing (the queue retunes width whenever it
+// resizes), versus O(log n) compares plus one interface-boxing allocation
+// per event for the container/heap queue it replaces.
+//
+// Two slow paths keep it correct on any workload:
+//
+//   - Sparse schedules (next event many epochs ahead) bound the cursor scan
+//     at one full rotation, then fall back to a direct minimum search over
+//     all buckets — O(nBuckets), amortized away by the shrink rule.
+//   - Far-future events (at ≥ farTime, including +Inf) bypass the ring
+//     entirely and live in a small sorted overflow list; every ring event
+//     precedes every overflow event by construction, so the overflow is
+//     only consulted when the ring is empty.
+//
+// Ordering is identical to the reference heap: strictly by (at, id), so
+// same-time events run in scheduling order. The differential tests in
+// calqueue_test.go pin this equivalence on randomized schedules.
+//
+// Vacated slots are always zeroed before a slice is truncated or a head
+// index advances, so a popped event's closure (and everything it captures)
+// becomes collectable immediately — the retention discipline the reference
+// heap's Pop also follows.
+type calendarQueue struct {
+	buckets  []bucket
+	mask     uint64  // len(buckets)-1; bucket count is a power of two
+	width    float64 // bucket width in virtual seconds
+	invWidth float64
+	cvb      uint64  // cursor: current virtual bucket (epoch) being swept
+	size     int     // events in the ring (excludes far)
+	far      []event // overflow: at ≥ farTime, sorted descending (min last)
+
+	// Retune triggers: a calendar queue degrades when the live event
+	// spacing drifts away from the width it was last tuned for — crowded
+	// buckets turn inserts into memmoves (width too coarse), empty
+	// rotations turn pops into direct searches (width too fine). Both
+	// symptoms are counted and trip an O(size) width retune, rate-limited
+	// by cooldown so the span scan stays amortized O(1).
+	cooldown int // enqueues until the next crowding check may retune
+	sparse   int // sparse-fallback pops since the last rebuild
+}
+
+const (
+	// minBuckets is the initial and smallest ring size.
+	minBuckets = 64
+	// initialWidth is the pre-tuning bucket width; resizes retune it to
+	// the observed event spacing.
+	initialWidth = 1e-3
+	// farTime is the absolute horizon beyond which events are kept in the
+	// sorted overflow list instead of the ring. It is width-independent so
+	// the ring/overflow ordering invariant survives retuning.
+	farTime = 1e30
+	// maxVB caps the virtual bucket number so that float→uint conversion
+	// stays exact and in range for any finite time below farTime.
+	maxVB = uint64(1) << 53
+)
+
+// bucket holds one ring slot's events sorted ascending by (at, id), with a
+// consumed prefix tracked by head so pops never shift memory.
+type bucket struct {
+	ev   []event
+	head int
+}
+
+func (b *bucket) len() int { return len(b.ev) - b.head }
+
+// insert places e in sorted position. The common case — e at or after the
+// bucket's current maximum, because virtual time only moves forward — is a
+// plain append.
+func (b *bucket) insert(e event) {
+	n := len(b.ev)
+	if n == b.head || !eventBefore(e, b.ev[n-1]) {
+		b.ev = append(b.ev, e)
+		return
+	}
+	// Binary search in ev[head:] for the first element after e.
+	lo, hi := b.head, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if eventBefore(e, b.ev[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	b.ev = append(b.ev, event{})
+	copy(b.ev[lo+1:], b.ev[lo:])
+	b.ev[lo] = e
+}
+
+// popMin removes and returns the bucket's earliest event, zeroing the
+// vacated slot.
+func (b *bucket) popMin() event {
+	e := b.ev[b.head]
+	b.ev[b.head] = event{}
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+	}
+	return e
+}
+
+// eventBefore is the queue's total order: by time, then by scheduling id.
+func eventBefore(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id < b.id
+}
+
+func (q *calendarQueue) len() int { return q.size + len(q.far) }
+
+func (q *calendarQueue) vbOf(at float64) uint64 {
+	v := at * q.invWidth
+	if v >= float64(maxVB) {
+		return maxVB
+	}
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+func (q *calendarQueue) init(n int, width float64) {
+	q.buckets = make([]bucket, n)
+	q.mask = uint64(n - 1)
+	q.width = width
+	q.invWidth = 1 / width
+}
+
+// enqueue inserts an event. Events at or beyond farTime (including +Inf)
+// go to the overflow list; everything else lands in its ring bucket.
+func (q *calendarQueue) enqueue(e event) {
+	if q.buckets == nil {
+		q.init(minBuckets, initialWidth)
+	}
+	if e.at >= farTime {
+		q.farInsert(e)
+		return
+	}
+	b := &q.buckets[q.vbOf(e.at)&q.mask]
+	b.insert(e)
+	q.size++
+	switch {
+	case q.size > 2*len(q.buckets):
+		q.resize(2 * len(q.buckets))
+	case q.cooldown > 0:
+		q.cooldown--
+	case b.len() > maxOccupancy:
+		// Crowding: the width is too coarse for the live distribution.
+		q.retune()
+	}
+}
+
+// farInsert places e in the overflow list, which is sorted descending so
+// the minimum pops off the end.
+func (q *calendarQueue) farInsert(e event) {
+	lo, hi := 0, len(q.far)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if eventBefore(e, q.far[mid]) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.far = append(q.far, event{})
+	copy(q.far[lo+1:], q.far[lo:])
+	q.far[lo] = e
+}
+
+// findMin locates the bucket holding the globally earliest ring event,
+// advancing the cursor to its epoch. It must only be called with size > 0.
+// The cursor sweep visits at most one full rotation; on a miss (the next
+// event is more than a rotation ahead) it falls back to a direct scan of
+// all buckets and jumps the cursor there.
+func (q *calendarQueue) findMin() int {
+	n := uint64(len(q.buckets))
+	for scanned := uint64(0); scanned <= n; scanned++ {
+		b := &q.buckets[q.cvb&q.mask]
+		if b.len() > 0 {
+			if e := b.ev[b.head]; q.vbOf(e.at) <= q.cvb {
+				return int(q.cvb & q.mask)
+			}
+		}
+		q.cvb++
+	}
+	// Sparse fallback: direct minimum over all buckets. Frequent hits mean
+	// the width is too fine for the live distribution — retune and retry.
+	q.sparse++
+	if q.sparse >= 8 && q.retune() {
+		return q.findMin()
+	}
+	best := -1
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		if b.len() == 0 {
+			continue
+		}
+		if best < 0 || eventBefore(b.ev[b.head], q.buckets[best].ev[q.buckets[best].head]) {
+			best = i
+		}
+	}
+	q.cvb = q.vbOf(q.buckets[best].ev[q.buckets[best].head].at)
+	return best
+}
+
+// pop removes and returns the earliest event. The second return is false
+// when the queue is empty.
+func (q *calendarQueue) pop() (event, bool) {
+	if q.size == 0 {
+		if len(q.far) == 0 {
+			return event{}, false
+		}
+		n := len(q.far) - 1
+		e := q.far[n]
+		q.far[n] = event{}
+		q.far = q.far[:n]
+		return e, true
+	}
+	bi := q.findMin()
+	e := q.buckets[bi].popMin()
+	q.cvb = q.vbOf(e.at)
+	q.size--
+	if len(q.buckets) > minBuckets && q.size < len(q.buckets)/8 {
+		q.resize(len(q.buckets) / 2)
+	}
+	return e, true
+}
+
+// popAtMost pops the earliest event only if its time is ≤ t; otherwise the
+// queue (including the cursor) is left unchanged.
+func (q *calendarQueue) popAtMost(t float64) (event, bool) {
+	if q.size == 0 {
+		if n := len(q.far); n > 0 && q.far[n-1].at <= t {
+			return q.pop()
+		}
+		return event{}, false
+	}
+	saved := q.cvb
+	bi := q.findMin()
+	b := &q.buckets[bi]
+	if e := b.ev[b.head]; e.at > t {
+		q.cvb = saved // not popping: restore so later enqueues stay ahead of the cursor
+		return event{}, false
+	}
+	e := b.popMin()
+	q.cvb = q.vbOf(e.at)
+	q.size--
+	if len(q.buckets) > minBuckets && q.size < len(q.buckets)/8 {
+		q.resize(len(q.buckets) / 2)
+	}
+	return e, true
+}
+
+// maxOccupancy is the bucket length beyond which an insert suspects the
+// width is mistuned and requests a retune.
+const maxOccupancy = 16
+
+// tunedWidth returns the bucket width fitting the live events: three times
+// their mean spacing (Brown's rule keeps mean bucket occupancy below one
+// in steady state), or the current width when the span is degenerate.
+func (q *calendarQueue) tunedWidth() (width, minAt float64) {
+	minAt, maxAt := math.Inf(1), math.Inf(-1)
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for _, e := range b.ev[b.head:] {
+			if e.at < minAt {
+				minAt = e.at
+			}
+			if e.at > maxAt {
+				maxAt = e.at
+			}
+		}
+	}
+	width = q.width
+	if q.size > 1 && maxAt > minAt {
+		if w := 3 * (maxAt - minAt) / float64(q.size); w > 0 && !math.IsInf(w, 0) {
+			width = w
+		}
+	}
+	return width, minAt
+}
+
+// resize rebuilds the ring with n buckets and a freshly tuned width.
+// O(size), amortized O(1) per operation by the doubling/halving
+// thresholds.
+func (q *calendarQueue) resize(n int) {
+	width, minAt := q.tunedWidth()
+	q.rebuild(n, width, minAt)
+}
+
+// retune rebuilds the ring in place when the live distribution has drifted
+// more than 2× from the tuned width (hysteresis prevents thrash on
+// tie-heavy schedules where no width can help). Returns whether a rebuild
+// happened. Either way the triggers are reset, with a cooldown of one
+// queue's worth of enqueues so the O(size) span scan stays amortized.
+func (q *calendarQueue) retune() bool {
+	q.sparse = 0
+	q.cooldown = q.size
+	if q.size < 8 {
+		return false
+	}
+	width, minAt := q.tunedWidth()
+	if width > q.width/2 && width < q.width*2 {
+		return false
+	}
+	q.rebuild(len(q.buckets), width, minAt)
+	return true
+}
+
+// rebuild redistributes every ring event into n fresh buckets of the given
+// width. minAt must be the earliest queued time (the cursor restarts
+// there); it is ignored when the ring is empty.
+func (q *calendarQueue) rebuild(n int, width, minAt float64) {
+	old := q.buckets
+	q.init(n, width)
+	q.sparse = 0
+	q.cooldown = q.size
+	if q.size == 0 {
+		q.cvb = 0
+		return
+	}
+	q.cvb = q.vbOf(minAt)
+	for i := range old {
+		b := &old[i]
+		for _, e := range b.ev[b.head:] {
+			q.buckets[q.vbOf(e.at)&q.mask].insert(e)
+		}
+	}
+}

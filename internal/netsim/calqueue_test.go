@@ -1,0 +1,305 @@
+package netsim
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/nwca/broadband/internal/randx"
+)
+
+// refSimulator is the pre-calendar-queue Simulator: the same scheduling
+// semantics over the container/heap reference queue. The differential
+// tests drive it and the production Simulator through identical randomized
+// schedules and require identical event execution order.
+type refSimulator struct {
+	now    float64
+	queue  eventHeap
+	nextID int64
+	halted bool
+}
+
+func (s *refSimulator) Now() float64 { return s.now }
+
+func (s *refSimulator) At(t float64, fn func()) {
+	if t < s.now || math.IsNaN(t) {
+		t = s.now
+	}
+	s.nextID++
+	s.queue.pushEvent(event{at: t, id: s.nextID, run: fn})
+}
+
+func (s *refSimulator) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+func (s *refSimulator) Halt() { s.halted = true }
+
+func (s *refSimulator) Run() float64 {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		e := s.queue.popEvent()
+		s.now = e.at
+		e.run()
+	}
+	return s.now
+}
+
+func (s *refSimulator) RunUntil(t float64) float64 {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted && s.queue.peek().at <= t {
+		e := s.queue.popEvent()
+		s.now = e.at
+		e.run()
+	}
+	if !s.halted && s.now < t {
+		s.now = t
+	}
+	return s.now
+}
+
+func (s *refSimulator) Pending() int { return len(s.queue) }
+
+// scheduler is the API surface both implementations share.
+type scheduler interface {
+	Now() float64
+	At(float64, func())
+	After(float64, func())
+	Halt()
+	Run() float64
+	RunUntil(float64) float64
+	Pending() int
+}
+
+// execRecord is one executed event: its token and the clock when it ran.
+type execRecord struct {
+	token int
+	now   float64
+}
+
+// driveRandomSchedule runs a randomized self-extending schedule against a
+// scheduler and returns the execution log. Everything is derived from the
+// seed, so the same seed produces the same requested schedule on any
+// implementation; only the queue decides the order. The schedule mixes the
+// adversarial cases: duplicate timestamps (coarse grid), past scheduling,
+// zero/negative delays, events spawning events, far-future events beyond
+// the horizon, and a mid-run Halt.
+func driveRandomSchedule(s scheduler, seed uint64, halt bool) []execRecord {
+	rng := randx.New(seed)
+	var log []execRecord
+	token := 0
+
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		tk := token
+		token++
+		return func() {
+			log = append(log, execRecord{token: tk, now: s.Now()})
+			if depth >= 3 {
+				return
+			}
+			// Each executed event schedules 0–2 more.
+			for k := rng.IntN(3); k > 0; k-- {
+				switch rng.IntN(5) {
+				case 0:
+					// Tie bait: coarse grid makes equal timestamps common.
+					s.At(s.Now()+float64(rng.IntN(5))*0.25, spawn(depth+1))
+				case 1:
+					// Past scheduling clamps to now.
+					s.At(s.Now()-1-10*rng.Float64(), spawn(depth+1))
+				case 2:
+					s.After(-rng.Float64(), spawn(depth+1)) // negative delay
+				case 3:
+					s.After(rng.Float64()*50, spawn(depth+1))
+				default:
+					s.After(rng.Float64()*0.01, spawn(depth+1))
+				}
+			}
+			if halt && tk == 40 {
+				s.Halt()
+			}
+		}
+	}
+
+	// Initial fan-out across very different time scales.
+	for i := 0; i < 60; i++ {
+		switch rng.IntN(4) {
+		case 0:
+			s.At(float64(rng.IntN(8))*0.5, spawn(0)) // grid ties
+		case 1:
+			s.At(rng.Float64()*1e-3, spawn(0)) // sub-millisecond cluster
+		case 2:
+			s.At(rng.Float64()*1e4, spawn(0)) // sparse far future
+		default:
+			s.At(rng.Float64()*10, spawn(0))
+		}
+	}
+
+	// Run in segments to exercise RunUntil's conditional pop, then drain.
+	s.RunUntil(0.5)
+	s.RunUntil(7.5)
+	s.Run()
+	return log
+}
+
+// TestCalendarQueueMatchesHeapOrder is the differential gate: on many
+// randomized schedules, the calendar-queue Simulator must execute exactly
+// the event sequence the reference heap executes — same tokens, same
+// clock readings, same final state.
+func TestCalendarQueueMatchesHeapOrder(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 40; seed++ {
+		halt := seed%4 == 0 // every fourth schedule halts mid-run
+		var cal Simulator
+		var ref refSimulator
+		gotLog := driveRandomSchedule(&cal, seed, halt)
+		wantLog := driveRandomSchedule(&ref, seed, halt)
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("seed %d: calendar ran %d events, heap ran %d", seed, len(gotLog), len(wantLog))
+		}
+		for i := range wantLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("seed %d: divergence at event %d: calendar %+v, heap %+v",
+					seed, i, gotLog[i], wantLog[i])
+			}
+		}
+		if cal.Now() != ref.Now() {
+			t.Fatalf("seed %d: final clocks differ: calendar %v, heap %v", seed, cal.Now(), ref.Now())
+		}
+		if cal.Pending() != ref.Pending() {
+			t.Fatalf("seed %d: pending differ: calendar %d, heap %d", seed, cal.Pending(), ref.Pending())
+		}
+	}
+}
+
+// TestCalendarQueueInfinityOrdering pins the overflow path: +Inf events
+// run last, in scheduling order, on both implementations.
+func TestCalendarQueueInfinityOrdering(t *testing.T) {
+	t.Parallel()
+	run := func(s scheduler) []int {
+		var order []int
+		s.At(math.Inf(1), func() { order = append(order, 100) })
+		s.At(2, func() { order = append(order, 2) })
+		s.At(math.Inf(1), func() { order = append(order, 101) })
+		s.At(1, func() { order = append(order, 1) })
+		s.Run()
+		return order
+	}
+	var cal Simulator
+	var ref refSimulator
+	got, want := run(&cal), run(&ref)
+	if len(got) != 4 || len(want) != 4 {
+		t.Fatalf("lengths: calendar %v, heap %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverges: calendar %v, heap %v", got, want)
+		}
+	}
+	if got[2] != 100 || got[3] != 101 {
+		t.Fatalf("+Inf events not last in scheduling order: %v", got)
+	}
+}
+
+// TestRunUntilLeavesFutureEventsQueued pins popAtMost's restore path: a
+// RunUntil that stops short must leave the queue able to deliver the
+// remaining events in order, including events scheduled after the partial
+// run at times before already-queued ones.
+func TestRunUntilLeavesFutureEventsQueued(t *testing.T) {
+	t.Parallel()
+	var s Simulator
+	var order []int
+	s.At(10, func() { order = append(order, 10) })
+	s.At(20, func() { order = append(order, 20) })
+	s.RunUntil(5) // pops nothing; cursor must rewind
+	if len(order) != 0 || s.Pending() != 2 {
+		t.Fatalf("RunUntil(5) ran %v, pending %d", order, s.Pending())
+	}
+	// Earlier than both queued events: must still run first.
+	s.At(7, func() { order = append(order, 7) })
+	s.Run()
+	if len(order) != 3 || order[0] != 7 || order[1] != 10 || order[2] != 20 {
+		t.Fatalf("order = %v, want [7 10 20]", order)
+	}
+}
+
+// bigCapture is a finalizer-observable allocation captured by scheduled
+// closures in the retention tests.
+type bigCapture struct {
+	buf [1 << 20]byte
+}
+
+// TestPoppedEventClosuresAreCollectable is the retention regression test:
+// closures capturing large buffers must become collectable once their
+// event has run, even while the Simulator (and its queue backing arrays)
+// stays alive. Before the Pop fix, the heap's backing array pinned every
+// popped closure for the life of the simulation.
+func TestPoppedEventClosuresAreCollectable(t *testing.T) {
+	const n = 24
+	freed := make(chan struct{}, n)
+
+	var sim Simulator
+	for i := 0; i < n; i++ {
+		big := new(bigCapture)
+		runtime.SetFinalizer(big, func(*bigCapture) { freed <- struct{}{} })
+		sim.After(float64(i)*0.001, func() { big.buf[0] = 1 })
+	}
+	sim.Run()
+	// Keep the simulator reachable: only the popped events may be freed.
+	if collected := awaitFinalizers(freed, n); collected != n {
+		t.Errorf("only %d/%d popped closures were collected; queue retains popped events", collected, n)
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("queue not drained: %d", sim.Pending())
+	}
+}
+
+// TestReferenceHeapPopZeroesSlot is the same retention discipline checked
+// directly on the reference heap implementation.
+func TestReferenceHeapPopZeroesSlot(t *testing.T) {
+	const n = 8
+	freed := make(chan struct{}, n)
+
+	var h eventHeap
+	for i := 0; i < n; i++ {
+		big := new(bigCapture)
+		runtime.SetFinalizer(big, func(*bigCapture) { freed <- struct{}{} })
+		h.pushEvent(event{at: float64(i), id: int64(i), run: func() { big.buf[0] = 1 }})
+	}
+	for i := 0; i < n; i++ {
+		h.popEvent().run()
+	}
+	// h (and its backing array) stays reachable; the popped closures must not.
+	if collected := awaitFinalizers(freed, n); collected != n {
+		t.Errorf("only %d/%d popped closures were collected; heap Pop retains the slot", collected, n)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not drained: %d", h.Len())
+	}
+}
+
+// awaitFinalizers forces garbage collection until count finalizers have
+// run or a timeout expires, returning how many ran.
+func awaitFinalizers(freed chan struct{}, count int) int {
+	collected := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for collected < count && time.Now().Before(deadline) {
+		runtime.GC()
+		// Finalizers run on a background goroutine after GC; drain what
+		// has arrived, then give the runtime a beat.
+		for {
+			select {
+			case <-freed:
+				collected++
+				continue
+			case <-time.After(10 * time.Millisecond):
+			}
+			break
+		}
+	}
+	return collected
+}

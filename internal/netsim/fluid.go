@@ -89,6 +89,11 @@ func (s FluidSim) Run(flows []*FluidFlow, horizon float64) (FluidResult, error) 
 	next := 0    // next pending arrival index
 	carry := 0.0 // sub-byte remainder so counter truncation never accumulates
 
+	// Allocation scratch reused by every maxMinFair step: the allocator
+	// was the dominant cost of long fluid horizons (one rates + one unsat
+	// slice per event step, hundreds of steps per simulated day).
+	var scratch fairScratch
+
 	for now < horizon {
 		// Admit arrivals at the current time.
 		for next < len(pending) && pending[next].Arrival <= now {
@@ -117,7 +122,7 @@ func (s FluidSim) Run(flows []*FluidFlow, horizon float64) (FluidResult, error) 
 			continue
 		}
 
-		rates := maxMinFair(s.Capacity.BitsPerSecond(), active)
+		rates := scratch.maxMinFair(s.Capacity.BitsPerSecond(), active)
 
 		// Earliest completion under these rates.
 		for i, f := range active {
@@ -179,20 +184,33 @@ func (s FluidSim) Run(flows []*FluidFlow, horizon float64) (FluidResult, error) 
 	return res, nil
 }
 
+// fairScratch carries the reusable buffers of the max-min fair allocator
+// so a long simulation run allocates them once, not once per event step.
+// The returned rates slice is valid until the next call.
+type fairScratch struct {
+	rates []float64
+	unsat []int
+}
+
 // maxMinFair computes the max-min fair allocation (bits/s) of capacity among
 // active flows honoring per-flow caps: water-filling where capped flows
 // saturate first and the residual is split among the rest.
-func maxMinFair(capacity float64, active []*FluidFlow) []float64 {
+func (sc *fairScratch) maxMinFair(capacity float64, active []*FluidFlow) []float64 {
 	n := len(active)
-	rates := make([]float64, n)
+	rates := sc.rates[:0]
+	for i := 0; i < n; i++ {
+		rates = append(rates, 0)
+	}
+	sc.rates = rates
 	if n == 0 {
 		return rates
 	}
 	remainingCap := capacity
-	unsat := make([]int, 0, n)
+	unsat := sc.unsat[:0]
 	for i := range active {
 		unsat = append(unsat, i)
 	}
+	sc.unsat = unsat
 	for len(unsat) > 0 && remainingCap > 1e-12 {
 		share := remainingCap / float64(len(unsat))
 		progressed := false

@@ -15,13 +15,18 @@
 // clock, so every simulation is deterministic given its random source.
 package netsim
 
-import "container/heap"
+import (
+	"container/heap"
+	"math"
+)
 
 // Simulator is a discrete-event scheduler with a virtual clock. The zero
 // value is ready to use; time starts at 0 and is measured in seconds.
+// Events are kept in a calendar queue (see calqueue.go) with O(1)
+// amortized schedule and pop.
 type Simulator struct {
 	now    float64
-	queue  eventHeap
+	queue  calendarQueue
 	nextID int64
 	halted bool
 }
@@ -32,6 +37,10 @@ type event struct {
 	run func()
 }
 
+// eventHeap is the original container/heap event queue, retained as the
+// reference implementation: the differential tests in calqueue_test.go
+// prove the calendar queue pops events in exactly this order on randomized
+// schedules, and the queue benchmarks measure the replacement against it.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -41,9 +50,19 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].id < h[j].id
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	// Zero the vacated slot: without this the backing array pins every
+	// popped event's run closure (and everything it captures) for the life
+	// of the simulation.
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
 func (h eventHeap) peek() event        { return h[0] }
 func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
 func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
@@ -52,13 +71,14 @@ func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 func (s *Simulator) Now() float64 { return s.now }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
-// runs the event at the current time (FIFO among same-time events).
+// (or at NaN) runs the event at the current time (FIFO among same-time
+// events).
 func (s *Simulator) At(t float64, fn func()) {
-	if t < s.now {
+	if t < s.now || math.IsNaN(t) {
 		t = s.now
 	}
 	s.nextID++
-	s.queue.pushEvent(event{at: t, id: s.nextID, run: fn})
+	s.queue.enqueue(event{at: t, id: s.nextID, run: fn})
 }
 
 // After schedules fn to run d seconds from now.
@@ -76,8 +96,11 @@ func (s *Simulator) Halt() { s.halted = true }
 // the final virtual time.
 func (s *Simulator) Run() float64 {
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
-		e := s.queue.popEvent()
+	for !s.halted {
+		e, ok := s.queue.pop()
+		if !ok {
+			break
+		}
 		s.now = e.at
 		e.run()
 	}
@@ -88,8 +111,11 @@ func (s *Simulator) Run() float64 {
 // exactly t. Events scheduled beyond t remain queued.
 func (s *Simulator) RunUntil(t float64) float64 {
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted && s.queue.peek().at <= t {
-		e := s.queue.popEvent()
+	for !s.halted {
+		e, ok := s.queue.popAtMost(t)
+		if !ok {
+			break
+		}
 		s.now = e.at
 		e.run()
 	}
@@ -100,4 +126,4 @@ func (s *Simulator) RunUntil(t float64) float64 {
 }
 
 // Pending returns the number of queued events (for tests and diagnostics).
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.queue.len() }

@@ -62,7 +62,10 @@ func MinMax(xs []float64) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
-// GeoMean returns the geometric mean of a strictly positive sample.
+// GeoMean returns the geometric mean of a strictly positive sample. A
+// sample containing a zero or negative value returns ErrNonPositive (the
+// log-domain mean is undefined there — distinct from ErrShortSample, which
+// signals too few observations).
 func GeoMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
@@ -70,7 +73,7 @@ func GeoMean(xs []float64) (float64, error) {
 	s := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			return 0, ErrShortSample
+			return 0, ErrNonPositive
 		}
 		s += math.Log(x)
 	}

@@ -41,8 +41,11 @@ func TestEmptyAndShortErrors(t *testing.T) {
 	if _, err := GeoMean(nil); err != ErrEmpty {
 		t.Errorf("GeoMean(nil) err = %v, want ErrEmpty", err)
 	}
-	if _, err := GeoMean([]float64{1, -2}); err == nil {
-		t.Error("GeoMean with non-positive values should error")
+	if _, err := GeoMean([]float64{1, -2}); err != ErrNonPositive {
+		t.Errorf("GeoMean(negative) err = %v, want ErrNonPositive", err)
+	}
+	if _, err := GeoMean([]float64{0, 2}); err != ErrNonPositive {
+		t.Errorf("GeoMean(zero) err = %v, want ErrNonPositive", err)
 	}
 }
 

@@ -8,8 +8,11 @@ import (
 // The edge-case contract of the descriptive layer, in one table: empty
 // samples are the only error; a single observation is a valid (degenerate)
 // sample everywhere except the variance family; all-equal samples are
-// exact; and non-finite observations propagate silently (garbage in,
-// garbage out — callers filter, the stats layer never panics).
+// exact. Infinities propagate silently (garbage in, garbage out — callers
+// filter, the stats layer never panics), but the order-statistic family
+// (Quantile, Percentile, Median, IQR, Summarize) rejects NaN with ErrNaN:
+// sorting places NaNs in unspecified positions, so a NaN-contaminated
+// quantile would be nondeterministic rather than merely wrong.
 
 type descCase struct {
 	name    string
@@ -65,6 +68,96 @@ func TestDescriptiveEdgeTable(t *testing.T) {
 	}
 }
 
+// TestOrderStatisticsRejectNaN pins the NaN contract of the quantile
+// family: any NaN anywhere in the sample is ErrNaN, deterministically,
+// regardless of position or the rest of the data.
+func TestOrderStatisticsRejectNaN(t *testing.T) {
+	t.Parallel()
+	nan := math.NaN()
+	samples := [][]float64{
+		{nan},
+		{nan, 1, 2},
+		{1, nan, 2},
+		{1, 2, nan},
+		{nan, nan},
+		{math.Inf(1), nan, math.Inf(-1)},
+	}
+	for _, xs := range samples {
+		if _, err := Quantile(xs, 0.5); err != ErrNaN {
+			t.Errorf("Quantile(%v) err = %v, want ErrNaN", xs, err)
+		}
+		if _, err := Percentile(xs, 95); err != ErrNaN {
+			t.Errorf("Percentile(%v) err = %v, want ErrNaN", xs, err)
+		}
+		if _, err := Median(xs); err != ErrNaN {
+			t.Errorf("Median(%v) err = %v, want ErrNaN", xs, err)
+		}
+		if _, err := IQR(xs); err != ErrNaN {
+			t.Errorf("IQR(%v) err = %v, want ErrNaN", xs, err)
+		}
+		if _, err := Summarize(xs); err != ErrNaN {
+			t.Errorf("Summarize(%v) err = %v, want ErrNaN", xs, err)
+		}
+	}
+	// Infinities are not NaNs: they sort deterministically and pass through.
+	inf := []float64{math.Inf(-1), 0, math.Inf(1)}
+	if med, err := Median(inf); err != nil || med != 0 {
+		t.Errorf("Median(±Inf sample) = %v, %v; want 0, nil", med, err)
+	}
+	// The empty-sample error still wins over everything.
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("Quantile(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+// TestQuantileSortedFastPath pins the sorted-input fast path: sorted input
+// is used in place (no copy, no mutation) and yields exactly the values the
+// copying slow path computes for a shuffled permutation of the same data.
+func TestQuantileSortedFastPath(t *testing.T) {
+	t.Parallel()
+	sorted := []float64{1, 2, 3, 5, 8, 13, 21, 34}
+	shuffled := []float64{21, 2, 34, 1, 8, 5, 13, 3}
+	for _, p := range []float64{0, 0.05, 0.25, 0.5, 0.75, 0.95, 1} {
+		a, err := Quantile(sorted, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Quantile(shuffled, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("Quantile(p=%v): sorted %v != shuffled %v", p, a, b)
+		}
+	}
+	sa, err := Summarize(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Summarize(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Errorf("Summarize: sorted %+v != shuffled %+v", sa, sb)
+	}
+	ia, _ := IQR(sorted)
+	ib, _ := IQR(shuffled)
+	if ia != ib {
+		t.Errorf("IQR: sorted %v != shuffled %v", ia, ib)
+	}
+	for i, want := range []float64{1, 2, 3, 5, 8, 13, 21, 34} {
+		if sorted[i] != want {
+			t.Fatalf("fast path mutated its input: %v", sorted)
+		}
+	}
+	for i, want := range []float64{21, 2, 34, 1, 8, 5, 13, 3} {
+		if shuffled[i] != want {
+			t.Fatalf("slow path mutated its input: %v", shuffled)
+		}
+	}
+}
+
 func TestVarianceNeedsTwo(t *testing.T) {
 	t.Parallel()
 	if _, err := Variance([]float64{3}); err == nil {
@@ -79,10 +172,11 @@ func TestVarianceNeedsTwo(t *testing.T) {
 	}
 }
 
-// TestNonFinitePropagation pins the silent-propagation contract: NaN and
-// Inf observations never error and never panic; moment statistics carry
-// the poison through, while order statistics that only compare (MinMax)
-// skip past NaN.
+// TestNonFinitePropagation pins the silent-propagation contract of the
+// moment statistics: NaN and Inf observations never error and never panic;
+// the poison carries through, while order statistics that only compare
+// (MinMax) skip past NaN. The sorting order statistics are the exception —
+// they reject NaN with ErrNaN (see TestOrderStatisticsRejectNaN).
 func TestNonFinitePropagation(t *testing.T) {
 	t.Parallel()
 	nan, inf := math.NaN(), math.Inf(1)
@@ -110,8 +204,8 @@ func TestNonFinitePropagation(t *testing.T) {
 	if _, err := NewECDF([]float64{1, nan, 3}); err != nil {
 		t.Errorf("NewECDF with NaN errored: %v", err)
 	}
-	if q, err := Quantile([]float64{1, nan}, 0.5); err != nil {
-		t.Errorf("Quantile with NaN = %v, %v; want silent propagation", q, err)
+	if _, err := Quantile([]float64{1, nan}, 0.5); err != ErrNaN {
+		t.Errorf("Quantile with NaN err = %v; want ErrNaN", err)
 	}
 }
 

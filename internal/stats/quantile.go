@@ -5,19 +5,50 @@ import (
 	"sort"
 )
 
+// prepareSorted returns a sorted, NaN-free view of the sample in one pass:
+// it scans once for NaN (ErrNaN) and sortedness, returning the input slice
+// itself when it is already ordered — the fast path the artifact inner
+// loops hit after an ECDF or a prior Summarize has sorted the values — and
+// a sorted copy otherwise. The input is never mutated.
+func prepareSorted(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := true
+	prev := xs[0]
+	if math.IsNaN(prev) {
+		return nil, ErrNaN
+	}
+	for _, x := range xs[1:] {
+		if math.IsNaN(x) {
+			return nil, ErrNaN
+		}
+		if x < prev {
+			sorted = false
+		}
+		prev = x
+	}
+	if sorted {
+		return xs, nil
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return cp, nil
+}
+
 // Quantile returns the p-quantile (p in [0, 1]) of the sample using linear
 // interpolation between order statistics (Hyndman–Fan type 7, the default of
-// R and NumPy). The input need not be sorted.
+// R and NumPy). The input need not be sorted (already-sorted input skips the
+// internal copy). A sample containing NaN returns ErrNaN.
 func Quantile(xs []float64, p float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrEmpty
+	sorted, err := prepareSorted(xs)
+	if err != nil {
+		return 0, err
 	}
 	if math.IsNaN(p) {
 		return math.NaN(), nil
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	return quantileSorted(sorted, p), nil
 }
 
@@ -36,6 +67,11 @@ func quantileSorted(sorted []float64, p float64) float64 {
 	if lo+1 >= n {
 		return sorted[n-1]
 	}
+	if frac == 0 {
+		// Exact order statistic; also keeps 0·Inf out of the
+		// interpolation when a neighbor is infinite.
+		return sorted[lo]
+	}
 	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
@@ -48,14 +84,13 @@ func Percentile(xs []float64, q float64) (float64, error) {
 // Median returns the sample median.
 func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
 
-// IQR returns the interquartile range (Q3 − Q1) of the sample.
+// IQR returns the interquartile range (Q3 − Q1) of the sample. A sample
+// containing NaN returns ErrNaN.
 func IQR(xs []float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrEmpty
+	sorted, err := prepareSorted(xs)
+	if err != nil {
+		return 0, err
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	return quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25), nil
 }
 
@@ -68,14 +103,13 @@ type Summary struct {
 	P05, P25, P75, P95 float64
 }
 
-// Summarize computes a Summary in one pass over a sorted copy.
+// Summarize computes a Summary in one pass over a sorted view (already-
+// sorted input skips the copy). A sample containing NaN returns ErrNaN.
 func Summarize(xs []float64) (Summary, error) {
-	if len(xs) == 0 {
-		return Summary{}, ErrEmpty
+	sorted, err := prepareSorted(xs)
+	if err != nil {
+		return Summary{}, err
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	m, _ := Mean(sorted)
 	sd := 0.0
 	if len(sorted) > 1 {

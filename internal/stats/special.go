@@ -21,6 +21,16 @@ var ErrEmpty = errors.New("stats: empty sample")
 // they were given (e.g. variance of a single point).
 var ErrShortSample = errors.New("stats: sample too small")
 
+// ErrNaN is returned by the order-statistic family (Quantile, Percentile,
+// Median, IQR, Summarize) when the sample contains a NaN: sorting places
+// NaNs in unspecified positions, so quantiles of NaN-contaminated data
+// would be nondeterministic garbage rather than a well-defined statistic.
+var ErrNaN = errors.New("stats: sample contains NaN")
+
+// ErrNonPositive is returned by estimators that are only defined on
+// strictly positive samples (e.g. the geometric mean).
+var ErrNonPositive = errors.New("stats: sample contains non-positive value")
+
 const ibetaEps = 1e-14
 
 // LogBeta returns the natural log of the Beta function B(a, b).
