@@ -146,7 +146,11 @@ func (q *calendarQueue) enqueue(e event) {
 		q.farInsert(e)
 		return
 	}
-	b := &q.buckets[q.vbOf(e.at)&q.mask]
+	vb := q.vbOf(e.at)
+	if vb < q.cvb {
+		q.cvb = vb
+	}
+	b := &q.buckets[vb&q.mask]
 	b.insert(e)
 	q.size++
 	switch {

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential fuzz of calendarQueue vs the reference heap, mixing
+// popAtMost misses (which save/restore the cursor) with wide time spreads
+// (which trigger sparse-fallback retunes).
+func TestReviewDifferentialPopAtMost(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var cq calendarQueue
+		var h eventHeap
+		id := int64(0)
+		now := 0.0
+		for step := 0; step < 2000; step++ {
+			op := rng.Intn(10)
+			switch {
+			case op < 5: // enqueue
+				at := now + rng.Float64()*float64(rng.Intn(3)*1000+1)
+				id++
+				e := event{at: at, id: id}
+				cq.enqueue(e)
+				h.pushEvent(e)
+			case op < 8: // popAtMost with a t that often misses
+				t2 := now + rng.Float64()*50
+				ce, cok := cq.popAtMost(t2)
+				var he event
+				hok := len(h) > 0 && h.peek().at <= t2
+				if hok {
+					he = h.popEvent()
+				}
+				if cok != hok || (cok && (ce.at != he.at || ce.id != he.id)) {
+					t.Fatalf("seed %d step %d popAtMost(%v): cal=(%v,%d,%v) heap=(%v,%d,%v)",
+						seed, step, t2, ce.at, ce.id, cok, he.at, he.id, hok)
+				}
+				if cok {
+					now = ce.at
+				}
+			default: // pop
+				ce, cok := cq.pop()
+				var he event
+				hok := len(h) > 0
+				if hok {
+					he = h.popEvent()
+				}
+				if cok != hok || (cok && (ce.at != he.at || ce.id != he.id)) {
+					t.Fatalf("seed %d step %d pop: cal=(%v,%d,%v) heap=(%v,%d,%v)",
+						seed, step, ce.at, ce.id, cok, he.at, he.id, hok)
+				}
+				if cok {
+					now = ce.at
+				}
+			}
+		}
+	}
+}
+
+func (q *calendarQueue) checkInvariant(t *testing.T, seed int64, step int, op string) {
+	t.Helper()
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for _, e := range b.ev[b.head:] {
+			if q.vbOf(e.at) < q.cvb {
+				t.Fatalf("seed %d step %d after %s: event at=%v vb=%d behind cursor cvb=%d (width %v)",
+					seed, step, op, e.at, q.vbOf(e.at), q.cvb, q.width)
+			}
+		}
+	}
+}
+
+func TestReviewInvariant(t *testing.T) {
+	seed := int64(20)
+	rng := rand.New(rand.NewSource(seed))
+	var cq calendarQueue
+	var h eventHeap
+	id := int64(0)
+	now := 0.0
+	for step := 0; step < 2000; step++ {
+		op := rng.Intn(10)
+		switch {
+		case op < 5:
+			at := now + rng.Float64()*float64(rng.Intn(3)*1000+1)
+			id++
+			e := event{at: at, id: id}
+			cq.enqueue(e)
+			h.pushEvent(e)
+			cq.checkInvariant(t, seed, step, "enqueue")
+		case op < 8:
+			t2 := now + rng.Float64()*50
+			ce, cok := cq.popAtMost(t2)
+			if len(h) > 0 && h.peek().at <= t2 {
+				h.popEvent()
+			}
+			cq.checkInvariant(t, seed, step, "popAtMost")
+			if cok {
+				now = ce.at
+			}
+		default:
+			ce, cok := cq.pop()
+			if len(h) > 0 {
+				h.popEvent()
+			}
+			cq.checkInvariant(t, seed, step, "pop")
+			if cok {
+				now = ce.at
+			}
+		}
+	}
+}
