@@ -142,6 +142,31 @@ func BuildWorldCtx(ctx context.Context, cfg WorldConfig) (*World, error) {
 	return synth.BuildCtx(ctx, cfg)
 }
 
+// Out-of-core world generation.
+type (
+	// ShardSpec describes the on-disk layout of a sharded world build.
+	ShardSpec = synth.ShardSpec
+	// ShardReport summarizes a sharded world build.
+	ShardReport = synth.ShardReport
+)
+
+// BuildWorldSharded generates a world directly to disk as N user shard
+// files plus switches.csv and plans.csv, streaming each user to its shard
+// instead of materializing the panel — resident memory is bounded by the
+// market frame and the switch-candidate pool, independent of the user
+// count (DESIGN.md §8). Shard bytes are deterministic in (cfg.Seed, shard
+// count): concatenating the shard bodies reproduces exactly the users.csv
+// an in-core BuildWorld of the same config would save. LoadDataset and
+// StreamUsers read the sharded directory transparently.
+func BuildWorldSharded(ctx context.Context, cfg WorldConfig, spec ShardSpec) (*ShardReport, error) {
+	return synth.BuildSharded(ctx, cfg, spec)
+}
+
+// StreamUsers opens the user table of a dataset directory for streaming —
+// the monolithic users.csv(.gz) or a complete shard set — one file and one
+// row resident at a time. The caller owns Close.
+func StreamUsers(dir string) (*dataset.UserStream, error) { return dataset.StreamUsersDir(dir) }
+
 // LoadDataset reads a dataset previously written with Dataset.SaveDir or
 // SaveDataset (users.csv, switches.csv, plans.csv — plain or .gz),
 // rebuilding market summaries from the plan survey. Tables stream through

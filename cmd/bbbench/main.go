@@ -8,8 +8,15 @@
 //	bbbench                               # full set → BENCH_6.json
 //	bbbench -set smoke -benchtime 100ms   # reduced CI set, shorter runs
 //	bbbench -baseline BENCH_5.json        # also gate: exit 1 on >20% regression
+//	bbbench -baseline auto                # gate against the newest BENCH_<n>.json
 //	bbbench -baseline BENCH_5.json -tolerance 0.35
 //	bbbench -list                         # enumerate specs and exit
+//
+// -baseline auto picks the committed BENCH_<n>.json with the highest index,
+// compared numerically (BENCH_10 beats BENCH_6 — a lexical sort would get
+// that backwards), and is resolved before the run writes -out, so a run can
+// never gate against its own output. With no baseline present, auto
+// records without gating.
 //
 // A regression is ns/op exceeding the baseline by more than the tolerance:
 // cur > base × (1 + tolerance). Host metadata is recorded so trajectories
@@ -34,7 +41,7 @@ func main() {
 		out       = flag.String("out", "BENCH_6.json", "trajectory file to write")
 		set       = flag.String("set", "full", "benchmark set: full or smoke")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark target time (or Nx iteration count)")
-		baseline  = flag.String("baseline", "", "prior trajectory to compare against; regressions exit nonzero")
+		baseline  = flag.String("baseline", "", "prior trajectory to compare against (or \"auto\" for the newest BENCH_<n>.json); regressions exit nonzero")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed relative slowdown vs -baseline (0.20 = 20%)")
 		only      = flag.String("only", "", "run a single spec by name")
 		list      = flag.Bool("list", false, "list specs and exit")
@@ -71,6 +78,21 @@ func main() {
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fail(fmt.Errorf("bad -benchtime: %w", err))
 	}
+	// Resolve the baseline before anything is written: -out may itself be a
+	// BENCH_<n>.json, and "auto" must never pick the file this run creates.
+	baselinePath := *baseline
+	if baselinePath == "auto" {
+		var err error
+		baselinePath, err = bench.LatestBaseline(".")
+		if err != nil {
+			fail(err)
+		}
+		if baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "bbbench: no BENCH_<n>.json baseline found; recording without gating")
+		} else {
+			fmt.Fprintf(os.Stderr, "bbbench: gating against %s\n", baselinePath)
+		}
+	}
 
 	traj := bench.NewTrajectory(time.Now())
 	for _, s := range specs {
@@ -101,10 +123,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "bbbench: wrote %s (%d benchmarks)\n", *out, len(traj.Benchmarks))
 
-	if *baseline == "" {
+	if baselinePath == "" {
 		return
 	}
-	bf, err := os.Open(*baseline)
+	bf, err := os.Open(baselinePath)
 	if err != nil {
 		fail(err)
 	}
@@ -134,10 +156,10 @@ func main() {
 	}
 	if reg := bench.Regressions(deltas); len(reg) > 0 {
 		fmt.Fprintf(os.Stderr, "bbbench: %d of %d benchmarks regressed beyond %.0f%% of %s\n",
-			len(reg), len(deltas), *tolerance*100, *baseline)
+			len(reg), len(deltas), *tolerance*100, baselinePath)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "bbbench: no regressions vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	fmt.Fprintf(os.Stderr, "bbbench: no regressions vs %s (tolerance %.0f%%)\n", baselinePath, *tolerance*100)
 }
 
 func fail(err error) {

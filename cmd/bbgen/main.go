@@ -31,6 +31,7 @@ func main() {
 		ndt      = flag.Bool("ndt", false, "measure every line with the packet-level simulator (slow)")
 		workers  = flag.Int("workers", 0, "concurrent generation workers (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 		gz       = flag.Bool("gzip", false, "write gzip-compressed CSVs (users.csv.gz etc.; bbrepro -data reads either)")
+		shards   = flag.Int("shards", 0, "write the user panel out-of-core as N shard files (users-00000-of-0000N.csv …); 0 builds in memory. Resident memory stays bounded regardless of -users")
 	)
 	flag.Parse()
 
@@ -52,6 +53,20 @@ func main() {
 		cfg.Measurement = broadband.MeasureNDT
 	}
 	start := time.Now()
+	if *shards > 0 {
+		fmt.Fprintf(os.Stderr, "bbgen: generating world out-of-core (seed=%d, users=%d, shards=%d)...\n", *seed, *users, *shards)
+		rep, err := broadband.BuildWorldSharded(ctx, cfg, broadband.ShardSpec{Dir: *out, Shards: *shards, Gzip: *gz})
+		if err != nil {
+			cli.Exit("bbgen", err, 1)
+		}
+		if n := rep.SkippedHouseholds(); n > 0 {
+			fmt.Fprintf(os.Stderr, "bbgen: %d households skipped (no affordable plan after every redraw)\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "bbgen: wrote %d users (%d shards), %d switches, %d plans to %s in %v (peak RSS %s)\n",
+			rep.Users, len(rep.ShardFiles), rep.Switches, rep.Plans, *out,
+			time.Since(start).Round(time.Millisecond), cli.PeakRSS())
+		return
+	}
 	fmt.Fprintf(os.Stderr, "bbgen: generating world (seed=%d, users=%d)...\n", *seed, *users)
 	world, err := broadband.BuildWorldCtx(ctx, cfg)
 	if err != nil {

@@ -1,0 +1,69 @@
+// Command bbstats computes the streaming characterization overview (the
+// online analogue of the paper's Fig. 1) over a dataset directory — the
+// monolithic users.csv(.gz) or an out-of-core shard set — in one pass with
+// bounded resident memory.
+//
+// Usage:
+//
+//	bbstats -data data/                 # human-readable overview
+//	bbstats -data data/ -json           # canonical JSON artifact
+//	bbstats -data data/ -maxrss-mb 512  # fail if peak RSS exceeds budget
+//
+// -maxrss-mb makes the process its own memory harness: after the pass it
+// reads the kernel's high-water RSS and exits nonzero over budget. CI's
+// out-of-core smoke drives a 1M-user shard set through this gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nwca/broadband/internal/cli"
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/experiments"
+	"github.com/nwca/broadband/internal/golden"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "data", "dataset directory (monolithic or sharded users table)")
+		asJSON   = flag.Bool("json", false, "emit the overview as canonical JSON instead of text")
+		maxRSSMB = flag.Int64("maxrss-mb", 0, "fail when peak RSS exceeds this budget in MiB (0 = no budget)")
+	)
+	flag.Parse()
+
+	us, err := dataset.StreamUsersDir(*data)
+	if err != nil {
+		cli.Exit("bbstats", err, 1)
+	}
+	overview, err := experiments.OverviewFromSource(us)
+	if cerr := us.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		cli.Exit("bbstats", err, 1)
+	}
+
+	if *asJSON {
+		raw, err := golden.Marshal(overview)
+		if err != nil {
+			cli.Exit("bbstats", err, 1)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+	} else {
+		fmt.Print(overview.Render())
+	}
+
+	fmt.Fprintf(os.Stderr, "bbstats: %d users streamed from %s, peak RSS %s\n", overview.Users, *data, cli.PeakRSS())
+	if *maxRSSMB > 0 {
+		peak := cli.PeakRSSBytes()
+		if peak == 0 {
+			cli.Exit("bbstats", fmt.Errorf("-maxrss-mb set but peak RSS is unreadable on this platform"), 1)
+		}
+		if budget := *maxRSSMB << 20; peak > budget {
+			cli.Exit("bbstats", fmt.Errorf("peak RSS %s exceeds the %d MiB budget", cli.PeakRSS(), *maxRSSMB), 1)
+		}
+	}
+}

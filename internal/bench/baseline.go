@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// baselineRe matches committed trajectory files: BENCH_<pr>.json.
+var baselineRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestBaseline returns the path of the BENCH_<n>.json in dir with the
+// highest PR index, or "" (with nil error) when dir holds none. Indices
+// compare numerically: a lexical sort would place BENCH_10.json before
+// BENCH_6.json and silently gate CI against a stale baseline once the
+// trajectory reaches double digits. Resolve the baseline BEFORE writing a
+// new trajectory file, or a run could compare against its own output.
+func LatestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestName := -1, ""
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := baselineRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		idx, err := strconv.Atoi(m[1])
+		if err != nil || idx <= best {
+			continue
+		}
+		best, bestName = idx, e.Name()
+	}
+	if best < 0 {
+		return "", nil
+	}
+	return filepath.Join(dir, bestName), nil
+}

@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes reports the process's high-water resident set size, read
+// from /proc/self/status (VmHWM). It returns 0 on platforms without procfs
+// — callers treat 0 as "unknown", never as a budget violation. The CI
+// out-of-core smoke asserts on this number, so it must reflect the whole
+// process, not the Go heap (syscall buffers, mmaps and the runtime all
+// count against a real machine's memory).
+func PeakRSSBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// PeakRSS renders PeakRSSBytes for log lines ("312.4 MiB", or "unknown").
+func PeakRSS() string {
+	b := PeakRSSBytes()
+	if b <= 0 {
+		return "unknown"
+	}
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%d KiB", b>>10)
+	}
+}

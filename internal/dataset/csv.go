@@ -225,25 +225,53 @@ func (d *Dataset) SaveDirCtx(ctx context.Context, dir string, opts SaveOptions) 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	write := func(name string, fn func(io.Writer) error) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if opts.Gzip {
-			name += ".gz"
-		}
-		if err := writeTableCtx(ctx, filepath.Join(dir, name), opts.Gzip, fn); err != nil {
-			return fmt.Errorf("dataset: writing %s: %w", name, err)
-		}
-		return nil
-	}
-	if err := write("users.csv", func(w io.Writer) error { return WriteUsersParallel(w, d.Users, opts.Workers) }); err != nil {
+	if err := writeNamedTableCtx(ctx, dir, "users.csv", opts, func(w io.Writer) error {
+		return WriteUsersParallel(w, d.Users, opts.Workers)
+	}); err != nil {
 		return err
 	}
-	if err := write("switches.csv", func(w io.Writer) error { return WriteSwitchesParallel(w, d.Switches, opts.Workers) }); err != nil {
+	if err := WriteSwitchesFileCtx(ctx, dir, opts, d.Switches); err != nil {
 		return err
 	}
-	return write("plans.csv", func(w io.Writer) error { return WritePlansParallel(w, d.Plans, opts.Workers) })
+	return WritePlansFileCtx(ctx, dir, opts, d.Plans)
+}
+
+// WriteSwitchesFileCtx writes switches.csv (or .csv.gz) under dir with the
+// atomic staging contract of SaveDirCtx, leaving the other tables alone.
+// The out-of-core builder uses it to place the switch panel next to a
+// sharded user table without materializing a Dataset.
+func WriteSwitchesFileCtx(ctx context.Context, dir string, opts SaveOptions, switches []Switch) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeNamedTableCtx(ctx, dir, "switches.csv", opts, func(w io.Writer) error {
+		return WriteSwitchesParallel(w, switches, opts.Workers)
+	})
+}
+
+// WritePlansFileCtx is WriteSwitchesFileCtx for the plan survey.
+func WritePlansFileCtx(ctx context.Context, dir string, opts SaveOptions, plans []market.Plan) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeNamedTableCtx(ctx, dir, "plans.csv", opts, func(w io.Writer) error {
+		return WritePlansParallel(w, plans, opts.Workers)
+	})
+}
+
+// writeNamedTableCtx writes dir/name (appending .gz per opts) atomically
+// through fn, wrapping failures with the table name.
+func writeNamedTableCtx(ctx context.Context, dir, name string, opts SaveOptions, fn func(io.Writer) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if opts.Gzip {
+		name += ".gz"
+	}
+	if err := writeTableCtx(ctx, filepath.Join(dir, name), opts.Gzip, fn); err != nil {
+		return fmt.Errorf("dataset: writing %s: %w", name, err)
+	}
+	return nil
 }
 
 // ctxWriter fails every Write once its context is cancelled, bounding how

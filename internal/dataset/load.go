@@ -9,7 +9,8 @@ import (
 
 // LoadDir reads a dataset previously written by SaveDir (users.csv,
 // switches.csv, plans.csv — or their .gz variants written with
-// SaveOptions.Gzip) and reconstructs the per-market summaries from the
+// SaveOptions.Gzip; a sharded users-*-of-*.csv panel written out-of-core
+// loads the same way) and reconstructs the per-market summaries from the
 // plan survey. Tables are consumed through the streaming readers, one
 // record at a time, so transient memory stays constant per row. Country
 // metadata (region, GDP per capita) is rejoined from the built-in market
@@ -26,14 +27,18 @@ func LoadDir(dir string) (*Dataset, error) {
 		defer rc.Close()
 		return fn(rc, path)
 	}
-	if err := read("users.csv", func(r io.Reader, path string) error {
-		ur, err := NewUserReaderFile(r, path)
+	// Users come through UserStream, so a directory written out-of-core
+	// (users-*-of-*.csv shards, DESIGN.md §8) loads with the same call as
+	// a monolithic one.
+	if err := func() error {
+		us, err := StreamUsersDir(dir)
 		if err != nil {
 			return err
 		}
+		defer us.Close()
 		var u User
 		for {
-			switch err := ur.Read(&u); err {
+			switch err := us.Read(&u); err {
 			case nil:
 				d.Users = append(d.Users, u)
 			case io.EOF:
@@ -42,7 +47,7 @@ func LoadDir(dir string) (*Dataset, error) {
 				return err
 			}
 		}
-	}); err != nil {
+	}(); err != nil {
 		return nil, fmt.Errorf("dataset: loading users: %w", err)
 	}
 	if err := read("switches.csv", func(r io.Reader, path string) error {

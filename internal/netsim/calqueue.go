@@ -240,8 +240,13 @@ func (q *calendarQueue) pop() (event, bool) {
 	return e, true
 }
 
-// popAtMost pops the earliest event only if its time is ≤ t; otherwise the
-// queue (including the cursor) is left unchanged.
+// popAtMost pops the earliest event only if its time is ≤ t; otherwise no
+// event is removed and the cursor rests at the unpopped minimum's epoch.
+// That resting point is always valid — no ring event precedes it, and
+// enqueue rewinds the cursor for any earlier arrival. It must NOT be
+// "restored" to its pre-call value: findMin may have retuned the ring
+// mid-call, and a cursor saved under the old bucket width can land ahead
+// of live events under the new one, breaking pop order.
 func (q *calendarQueue) popAtMost(t float64) (event, bool) {
 	if q.size == 0 {
 		if n := len(q.far); n > 0 && q.far[n-1].at <= t {
@@ -249,11 +254,9 @@ func (q *calendarQueue) popAtMost(t float64) (event, bool) {
 		}
 		return event{}, false
 	}
-	saved := q.cvb
 	bi := q.findMin()
 	b := &q.buckets[bi]
 	if e := b.ev[b.head]; e.at > t {
-		q.cvb = saved // not popping: restore so later enqueues stay ahead of the cursor
 		return event{}, false
 	}
 	e := b.popMin()

@@ -205,10 +205,11 @@ func TestCalendarQueueInfinityOrdering(t *testing.T) {
 	}
 }
 
-// TestRunUntilLeavesFutureEventsQueued pins popAtMost's restore path: a
+// TestRunUntilLeavesFutureEventsQueued pins popAtMost's miss path: a
 // RunUntil that stops short must leave the queue able to deliver the
 // remaining events in order, including events scheduled after the partial
-// run at times before already-queued ones.
+// run at times before already-queued ones (enqueue rewinds the cursor for
+// earlier arrivals; the miss leaves it at the unpopped minimum's epoch).
 func TestRunUntilLeavesFutureEventsQueued(t *testing.T) {
 	t.Parallel()
 	var s Simulator

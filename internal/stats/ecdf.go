@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -13,13 +14,22 @@ type ECDF struct {
 	sorted []float64
 }
 
-// NewECDF builds an ECDF from a sample (which it copies and sorts).
+// NewECDF builds an ECDF from a sample (which it copies and sorts). A
+// sample containing NaN returns ErrNaN: sort.Float64s leaves NaNs in
+// unspecified positions, so Eval/Quantile/Curve over NaN-contaminated data
+// would be nondeterministic garbage — the same contract Quantile and the
+// rest of the order-statistic family enforce.
 func NewECDF(xs []float64) (*ECDF, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmpty
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
+	for _, x := range s {
+		if math.IsNaN(x) {
+			return nil, ErrNaN
+		}
+	}
 	sort.Float64s(s)
 	return &ECDF{sorted: s}, nil
 }

@@ -69,8 +69,9 @@ func TestDescriptiveEdgeTable(t *testing.T) {
 }
 
 // TestOrderStatisticsRejectNaN pins the NaN contract of the quantile
-// family: any NaN anywhere in the sample is ErrNaN, deterministically,
-// regardless of position or the rest of the data.
+// family (NewECDF included — it sorts too): any NaN anywhere in the sample
+// is ErrNaN, deterministically, regardless of position or the rest of the
+// data.
 func TestOrderStatisticsRejectNaN(t *testing.T) {
 	t.Parallel()
 	nan := math.NaN()
@@ -85,6 +86,9 @@ func TestOrderStatisticsRejectNaN(t *testing.T) {
 	for _, xs := range samples {
 		if _, err := Quantile(xs, 0.5); err != ErrNaN {
 			t.Errorf("Quantile(%v) err = %v, want ErrNaN", xs, err)
+		}
+		if _, err := NewECDF(xs); err != ErrNaN {
+			t.Errorf("NewECDF(%v) err = %v, want ErrNaN", xs, err)
 		}
 		if _, err := Percentile(xs, 95); err != ErrNaN {
 			t.Errorf("Percentile(%v) err = %v, want ErrNaN", xs, err)
@@ -201,8 +205,11 @@ func TestNonFinitePropagation(t *testing.T) {
 	if err != nil || lo != 1 || !math.IsInf(hi, 1) {
 		t.Errorf("MinMax with +Inf = %v, %v, %v; want 1, +Inf, nil", lo, hi, err)
 	}
-	if _, err := NewECDF([]float64{1, nan, 3}); err != nil {
-		t.Errorf("NewECDF with NaN errored: %v", err)
+	if _, err := NewECDF([]float64{1, nan, 3}); err != ErrNaN {
+		t.Errorf("NewECDF with NaN err = %v; want ErrNaN", err)
+	}
+	if _, err := NewECDF([]float64{1, inf, 3}); err != nil {
+		t.Errorf("NewECDF with +Inf errored: %v (infinities sort fine)", err)
 	}
 	if _, err := Quantile([]float64{1, nan}, 0.5); err != ErrNaN {
 		t.Errorf("Quantile with NaN err = %v; want ErrNaN", err)

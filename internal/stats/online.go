@@ -1,0 +1,467 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Online (single-pass) statistics: the streaming counterparts of the exact
+// estimators in desc.go / quantile.go / ecdf.go, used when the sample is a
+// UserSource-style stream too large to materialize. Three layers:
+//
+//   - Moments: Welford/Chan running mean and variance with exact min/max,
+//     mergeable across shards;
+//   - P2: the Jain–Chlamtac P² estimator of a single quantile in O(1)
+//     memory;
+//   - OnlineECDF: a fixed-bin (linear or log-spaced) single-pass ECDF
+//     supporting Eval, Quantile and Curve with a declared worst-case
+//     resolution, mergeable across shards.
+//
+// All three reject NaN at Add, mirroring the exact layer's ErrNaN
+// contract (PR 6), so a corrupt stream cannot silently poison a sketch.
+
+// Moments accumulates count, mean, variance (Welford's algorithm) and the
+// exact min/max of a stream in O(1) memory. The zero value is ready to use.
+// Merge combines two accumulators (Chan et al.'s pairwise update), so
+// per-shard moments can be folded into panel-wide ones.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in. NaN observations return ErrNaN and leave
+// the accumulator unchanged.
+func (m *Moments) Add(x float64) error {
+	if math.IsNaN(x) {
+		return ErrNaN
+	}
+	m.n++
+	if m.n == 1 {
+		m.mean, m.min, m.max = x, x, x
+		return nil
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+	if x < m.min {
+		m.min = x
+	}
+	if x > m.max {
+		m.max = x
+	}
+	return nil
+}
+
+// AddAll folds a slice in, stopping at the first NaN.
+func (m *Moments) AddAll(xs []float64) error {
+	for _, x := range xs {
+		if err := m.Add(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge folds another accumulator into m, as if every observation of o had
+// been Added to m directly (up to floating-point association).
+func (m *Moments) Merge(o *Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += d * float64(o.n) / float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n = n
+}
+
+// N returns the number of observations folded in.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the running mean (ErrEmpty before any observation).
+func (m *Moments) Mean() (float64, error) {
+	if m.n == 0 {
+		return 0, ErrEmpty
+	}
+	return m.mean, nil
+}
+
+// Variance returns the unbiased (n−1) sample variance, matching the
+// two-pass Variance up to floating-point association.
+func (m *Moments) Variance() (float64, error) {
+	if m.n == 0 {
+		return 0, ErrEmpty
+	}
+	if m.n < 2 {
+		return 0, ErrShortSample
+	}
+	return m.m2 / float64(m.n-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (m *Moments) StdDev() (float64, error) {
+	v, err := m.Variance()
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the smallest observation seen.
+func (m *Moments) Min() (float64, error) {
+	if m.n == 0 {
+		return 0, ErrEmpty
+	}
+	return m.min, nil
+}
+
+// Max returns the largest observation seen.
+func (m *Moments) Max() (float64, error) {
+	if m.n == 0 {
+		return 0, ErrEmpty
+	}
+	return m.max, nil
+}
+
+// P2 estimates a single p-quantile of a stream in O(1) memory with the
+// Jain–Chlamtac P² algorithm: five markers whose heights approximate
+// (min, p/2, p, (1+p)/2, max) quantiles, adjusted toward their desired
+// positions with a piecewise-parabolic update after every observation.
+// The first five observations are held exactly, so small samples return
+// the exact type-7 quantile.
+type P2 struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based observation counts)
+	want [5]float64 // desired positions
+	inc  [5]float64 // desired-position increments per observation
+}
+
+// NewP2 returns a P² estimator of the p-quantile, p in (0, 1).
+func NewP2(p float64) (*P2, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return nil, ErrInvalidQuantile
+	}
+	e := &P2{p: p}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e, nil
+}
+
+// P returns the target quantile probability.
+func (e *P2) P() float64 { return e.p }
+
+// N returns the number of observations folded in.
+func (e *P2) N() int { return e.n }
+
+// Add folds one observation in; NaN returns ErrNaN and is not folded.
+func (e *P2) Add(x float64) error {
+	if math.IsNaN(x) {
+		return ErrNaN
+	}
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := 0; i < 5; i++ {
+				e.pos[i] = float64(i + 1)
+				e.want[i] = 1 + 4*e.inc[i]
+			}
+		}
+		return nil
+	}
+
+	// Locate the cell and clamp the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			// Piecewise-parabolic (P²) candidate height.
+			qp := e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+				((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+					(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				// Parabola left the bracket: fall back to linear.
+				j := i + int(s)
+				e.q[i] += s * (e.q[j] - e.q[i]) / (e.pos[j] - e.pos[i])
+			}
+			e.pos[i] += s
+		}
+	}
+	e.n++
+	return nil
+}
+
+// Quantile returns the current estimate: exact (type 7) below five
+// observations, the middle P² marker after.
+func (e *P2) Quantile() (float64, error) {
+	if e.n == 0 {
+		return 0, ErrEmpty
+	}
+	if e.n < 5 {
+		s := make([]float64, e.n)
+		copy(s, e.q[:e.n])
+		sort.Float64s(s)
+		return quantileSorted(s, e.p), nil
+	}
+	return e.q[2], nil
+}
+
+// OnlineECDF is a single-pass binned approximation of an ECDF: a fixed
+// number of bins spanning [Lo, Hi] (linear, or log-spaced for scale-free
+// positive metrics like bitrates) counts observations as they stream by;
+// Eval and Quantile interpolate within bins. Observations outside the
+// configured span clamp into the first/last bin, and the exact min/max are
+// tracked so the distribution's support is reported truthfully.
+//
+// The worst-case quantile error is one bin: |Quantile(p) − exact| is
+// bounded by the containing bin's width (relative width ≈ (Hi/Lo)^(1/Bins)
+// − 1 in log mode). Declare tolerances accordingly (DESIGN.md §8).
+type OnlineECDF struct {
+	lo, hi float64
+	log    bool
+	counts []int64
+	n      int64
+	min    float64
+	max    float64
+}
+
+// NewOnlineECDF builds an empty binned ECDF over [lo, hi]. In log mode the
+// bin edges are geometrically spaced and lo must be positive.
+func NewOnlineECDF(lo, hi float64, bins int, logSpaced bool) (*OnlineECDF, error) {
+	if bins < 1 || math.IsNaN(lo) || math.IsNaN(hi) || lo >= hi {
+		return nil, ErrInvalidBins
+	}
+	if logSpaced && lo <= 0 {
+		return nil, ErrInvalidBins
+	}
+	return &OnlineECDF{lo: lo, hi: hi, log: logSpaced, counts: make([]int64, bins)}, nil
+}
+
+// Bins returns the bin count.
+func (e *OnlineECDF) Bins() int { return len(e.counts) }
+
+// N returns the number of observations folded in.
+func (e *OnlineECDF) N() int64 { return e.n }
+
+// pos maps a value onto the continuous bin coordinate in [0, Bins].
+func (e *OnlineECDF) pos(x float64) float64 {
+	var f float64
+	if e.log {
+		f = math.Log(x/e.lo) / math.Log(e.hi/e.lo)
+	} else {
+		f = (x - e.lo) / (e.hi - e.lo)
+	}
+	return f * float64(len(e.counts))
+}
+
+// edge is the inverse of pos: the value at continuous bin coordinate c.
+func (e *OnlineECDF) edge(c float64) float64 {
+	f := c / float64(len(e.counts))
+	if e.log {
+		return e.lo * math.Exp(f*math.Log(e.hi/e.lo))
+	}
+	return e.lo + f*(e.hi-e.lo)
+}
+
+// Add folds one observation in. Values at or outside the span clamp into
+// the terminal bins (the exact min/max are still tracked); NaN returns
+// ErrNaN and is not folded.
+func (e *OnlineECDF) Add(x float64) error {
+	if math.IsNaN(x) {
+		return ErrNaN
+	}
+	i := 0
+	if x > e.lo { // also filters log-mode x <= 0
+		i = int(e.pos(x))
+		if i >= len(e.counts) {
+			i = len(e.counts) - 1
+		}
+	}
+	e.counts[i]++
+	e.n++
+	if e.n == 1 {
+		e.min, e.max = x, x
+		return nil
+	}
+	if x < e.min {
+		e.min = x
+	}
+	if x > e.max {
+		e.max = x
+	}
+	return nil
+}
+
+// Merge folds another ECDF with the identical span/bin configuration into
+// e; it returns ErrMismatched when the configurations differ.
+func (e *OnlineECDF) Merge(o *OnlineECDF) error {
+	if e.lo != o.lo || e.hi != o.hi || e.log != o.log || len(e.counts) != len(o.counts) {
+		return ErrMismatched
+	}
+	if o.n == 0 {
+		return nil
+	}
+	for i, c := range o.counts {
+		e.counts[i] += c
+	}
+	if e.n == 0 {
+		e.min, e.max = o.min, o.max
+	} else {
+		if o.min < e.min {
+			e.min = o.min
+		}
+		if o.max > e.max {
+			e.max = o.max
+		}
+	}
+	e.n += o.n
+	return nil
+}
+
+// Min returns the exact smallest observation seen.
+func (e *OnlineECDF) Min() (float64, error) {
+	if e.n == 0 {
+		return 0, ErrEmpty
+	}
+	return e.min, nil
+}
+
+// Max returns the exact largest observation seen.
+func (e *OnlineECDF) Max() (float64, error) {
+	if e.n == 0 {
+		return 0, ErrEmpty
+	}
+	return e.max, nil
+}
+
+// Eval returns the approximate F(x): complete bins below x count fully,
+// the containing bin contributes its within-bin fraction.
+func (e *OnlineECDF) Eval(x float64) float64 {
+	if e.n == 0 || x < e.min {
+		return 0
+	}
+	if x >= e.max {
+		return 1
+	}
+	c := e.pos(x)
+	if c <= 0 {
+		return 0
+	}
+	full := int(c)
+	if full >= len(e.counts) {
+		full = len(e.counts)
+	}
+	var cum int64
+	for i := 0; i < full; i++ {
+		cum += e.counts[i]
+	}
+	frac := 0.0
+	if full < len(e.counts) {
+		frac = (c - float64(full)) * float64(e.counts[full])
+	}
+	return (float64(cum) + frac) / float64(e.n)
+}
+
+// Quantile returns the approximate p-quantile: the bin containing the
+// p·n-th observation, interpolated linearly (in the bin-coordinate domain,
+// so geometrically in log mode) and clamped to the exact observed range.
+func (e *OnlineECDF) Quantile(p float64) (float64, error) {
+	if e.n == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(p) {
+		return math.NaN(), nil
+	}
+	if p <= 0 {
+		return e.min, nil
+	}
+	if p >= 1 {
+		return e.max, nil
+	}
+	target := p * float64(e.n)
+	var cum int64
+	for i, c := range e.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= target {
+			frac := (target - float64(cum)) / float64(c)
+			x := e.edge(float64(i) + frac)
+			// The terminal bins absorb out-of-span values; the exact
+			// extrema bound every answer truthfully.
+			if x < e.min {
+				x = e.min
+			}
+			if x > e.max {
+				x = e.max
+			}
+			return x, nil
+		}
+		cum += c
+	}
+	return e.max, nil
+}
+
+// Curve returns n evenly spaced (in probability) points on the binned
+// ECDF — the single-pass counterpart of ECDF.Curve.
+func (e *OnlineECDF) Curve(n int) ([]Point, error) {
+	if e.n == 0 {
+		return nil, ErrEmpty
+	}
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		x, err := e.Quantile(p)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{X: x, F: p})
+	}
+	return pts, nil
+}

@@ -31,6 +31,14 @@ var ErrNaN = errors.New("stats: sample contains NaN")
 // strictly positive samples (e.g. the geometric mean).
 var ErrNonPositive = errors.New("stats: sample contains non-positive value")
 
+// ErrInvalidQuantile is returned when a streaming quantile estimator is
+// configured with a probability outside (0, 1).
+var ErrInvalidQuantile = errors.New("stats: quantile probability outside (0, 1)")
+
+// ErrInvalidBins is returned when a binned sketch is configured with an
+// empty bin count or a degenerate (or, in log mode, non-positive) span.
+var ErrInvalidBins = errors.New("stats: invalid bin configuration")
+
 const ibetaEps = 1e-14
 
 // LogBeta returns the natural log of the Beta function B(a, b).

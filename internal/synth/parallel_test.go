@@ -60,13 +60,13 @@ func TestSkippedAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := &generator{cfg: Config{Seed: 21, Users: 300, FCCUsers: 40, Days: 1, SwitchTarget: 5}.withDefaults(), world: w}
-	slots, err := gen.slots()
+	lay, err := gen.layout()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(w.Data.Users) + w.SkippedHouseholds(); got != len(slots) {
+	if got := len(w.Data.Users) + w.SkippedHouseholds(); got != lay.total {
 		t.Errorf("users(%d) + skipped(%d) = %d, want the %d configured slots",
-			len(w.Data.Users), w.SkippedHouseholds(), got, len(slots))
+			len(w.Data.Users), w.SkippedHouseholds(), got, lay.total)
 	}
 	for cc, n := range w.Skipped {
 		if n <= 0 {

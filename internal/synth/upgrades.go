@@ -35,6 +35,18 @@ func (g *generator) upgrades() error {
 			candidates = append(candidates, u)
 		}
 	}
+	return g.upgradesFrom(candidates)
+}
+
+// upgradesFrom runs the switch-panel generation over an explicit candidate
+// list (primary-year Dasu users in slot order, with ground truth present in
+// world.Truth). The in-core build passes every eligible user; the
+// out-of-core build passes the bounded candidate pool it retained while
+// streaming shards.
+func (g *generator) upgradesFrom(candidates []*dataset.User) error {
+	if g.cfg.SwitchTarget == 0 {
+		return nil
+	}
 	order := g.rng.Split("switch-order").Perm(len(candidates))
 
 	// Each tryUpgrade is a pure function of its candidate (the RNG splits

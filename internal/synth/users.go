@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/market"
@@ -57,33 +58,65 @@ type slotResult struct {
 	truth GroundTruth
 }
 
-// slots lays out every user slot of the world in canonical order: yearly
-// Dasu cohorts (years in config order, countries in profile order), then
-// the US gateway panel. The layout is a pure function of the config, so
-// cohort ID ranges are known before any user is generated.
-func (g *generator) slots() ([]userSlot, error) {
+// cohort is a contiguous run of identically parameterized user slots in the
+// canonical world order: one (year, country, vantage) block. Slot j of a
+// cohort owns ID base baseID + j·maxAffordAttempts.
+type cohort struct {
+	prof      market.Profile
+	year      int
+	needScale float64
+	vantage   dataset.Vantage
+	start     int   // global index of the cohort's first slot
+	n         int   // slots in the cohort
+	baseID    int64 // ID base of the first slot
+	// primBefore counts the primary-year Dasu slots laid out before this
+	// cohort — the slot's rank within the switch-candidate universe.
+	primBefore int
+}
+
+// slotLayout is the compact description of every user slot of a world:
+// cohort runs instead of per-slot records, so it stays a few hundred
+// entries even for a 10M-user world (DESIGN.md §8). It is a pure function
+// of the config — any two builds of the same config agree on every slot's
+// parameters and ID range before a single user is generated, which is what
+// lets shards (and workers) generate independently with identical bytes.
+type slotLayout struct {
+	cohorts     []cohort
+	total       int
+	primaryYear int
+	primaryDasu int // total primary-year Dasu slots (switch candidates)
+}
+
+// layout computes the world's slot layout in canonical order: yearly Dasu
+// cohorts (years in config order, countries in profile order), then the US
+// gateway panel.
+func (g *generator) layout() (*slotLayout, error) {
 	years := g.cfg.Years
-	primary := years[len(years)-1]
-	var slots []userSlot
+	l := &slotLayout{primaryYear: years[len(years)-1]}
 	nextBase := int64(1)
 	add := func(prof market.Profile, year int, needScale float64, vantage dataset.Vantage, n int) {
-		for i := 0; i < n; i++ {
-			slots = append(slots, userSlot{
-				prof: prof, year: year, needScale: needScale,
-				vantage: vantage, baseID: nextBase,
-			})
-			nextBase += maxAffordAttempts
+		if n <= 0 {
+			return
 		}
+		l.cohorts = append(l.cohorts, cohort{
+			prof: prof, year: year, needScale: needScale, vantage: vantage,
+			start: l.total, n: n, baseID: nextBase, primBefore: l.primaryDasu,
+		})
+		if year == l.primaryYear && vantage == dataset.VantageDasu {
+			l.primaryDasu += n
+		}
+		l.total += n
+		nextBase += int64(n) * maxAffordAttempts
 	}
 	for _, year := range years {
 		// Earlier cohorts are smaller (subscriber growth) and carry lower
 		// latent need (traffic growth).
-		age := float64(primary - year)
+		age := float64(l.primaryYear - year)
 		scale := math.Pow(g.cfg.YearGrowth, -age)
 		needScale := math.Pow(g.cfg.NeedGrowth, -age)
 		total := int(math.Round(float64(g.cfg.Users) * scale))
 		minPer := 0
-		if year == primary {
+		if year == l.primaryYear {
 			minPer = g.cfg.MinPerCountry
 		}
 		counts := countryCounts(g.cfg.Profiles, total, minPer)
@@ -96,21 +129,47 @@ func (g *generator) slots() ([]userSlot, error) {
 	if !ok {
 		return nil, fmt.Errorf("synth: gateway panel needs a US profile")
 	}
-	add(usProf, primary, 1, dataset.VantageGateway, g.cfg.FCCUsers)
-	return slots, nil
+	add(usProf, l.primaryYear, 1, dataset.VantageGateway, g.cfg.FCCUsers)
+	return l, nil
+}
+
+// find returns the cohort containing global slot i.
+func (l *slotLayout) find(i int) *cohort {
+	j := sort.Search(len(l.cohorts), func(k int) bool { return l.cohorts[k].start > i }) - 1
+	return &l.cohorts[j]
+}
+
+// slot materializes global slot i.
+func (l *slotLayout) slot(i int) userSlot {
+	c := l.find(i)
+	return userSlot{
+		prof: c.prof, year: c.year, needScale: c.needScale, vantage: c.vantage,
+		baseID: c.baseID + int64(i-c.start)*maxAffordAttempts,
+	}
+}
+
+// primaryDasuRank returns slot i's 0-based position within the primary-year
+// Dasu slots — the switch-candidate universe — in slot order; ok is false
+// for every other slot.
+func (l *slotLayout) primaryDasuRank(i int) (int, bool) {
+	c := l.find(i)
+	if c.year != l.primaryYear || c.vantage != dataset.VantageDasu {
+		return 0, false
+	}
+	return c.primBefore + (i - c.start), true
 }
 
 // populate generates every yearly cohort of the Dasu panel plus the US
-// gateway panel, fanning the precomputed slots out over the worker pool and
+// gateway panel, fanning the layout's slots out over the worker pool and
 // merging results in canonical slot order.
 func (g *generator) populate() error {
-	slots, err := g.slots()
+	lay, err := g.layout()
 	if err != nil {
 		return err
 	}
-	results := make([]slotResult, len(slots))
-	err = par.ForNCtx(g.ctx, par.Workers(g.cfg.Workers), len(slots), func(i int) error {
-		r, err := g.generateSlot(slots[i])
+	results := make([]slotResult, lay.total)
+	err = par.ForNCtx(g.ctx, par.Workers(g.cfg.Workers), lay.total, func(i int) error {
+		r, err := g.generateSlot(lay.slot(i))
 		results[i] = r
 		return err
 	})
@@ -120,7 +179,7 @@ func (g *generator) populate() error {
 	g.world.Skipped = make(map[string]int)
 	for i := range results {
 		if results[i].user == nil {
-			g.world.Skipped[slots[i].prof.Country.Code]++
+			g.world.Skipped[lay.find(i).prof.Country.Code]++
 			continue
 		}
 		g.world.Data.Users = append(g.world.Data.Users, *results[i].user)

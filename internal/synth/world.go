@@ -156,6 +156,27 @@ func Build(cfg Config) (*World, error) {
 // output to misuse. Determinism is unaffected: a run that completes under
 // any ctx is byte-identical to Build.
 func BuildCtx(ctx context.Context, cfg Config) (*World, error) {
+	gen, err := newGenerator(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := gen.populate(); err != nil {
+		return nil, err
+	}
+	if err := gen.upgrades(); err != nil {
+		return nil, err
+	}
+	if err := gen.world.Data.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated dataset invalid: %w", err)
+	}
+	return gen.world, nil
+}
+
+// newGenerator applies the config defaults and builds the world frame —
+// plan catalogs, market summaries, the plan survey — shared by the in-core
+// build (BuildCtx) and the out-of-core build (BuildSharded). The frame is
+// read-only during user generation.
+func newGenerator(ctx context.Context, cfg Config) (*generator, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Profiles) == 0 {
 		return nil, fmt.Errorf("synth: no market profiles")
@@ -184,18 +205,7 @@ func BuildCtx(ctx context.Context, cfg Config) (*World, error) {
 		w.Data.Markets[code] = sum
 		w.Data.Plans = append(w.Data.Plans, cat.Plans...)
 	}
-
-	gen := &generator{ctx: ctx, cfg: cfg, world: w, rng: root}
-	if err := gen.populate(); err != nil {
-		return nil, err
-	}
-	if err := gen.upgrades(); err != nil {
-		return nil, err
-	}
-	if err := w.Data.Validate(); err != nil {
-		return nil, fmt.Errorf("synth: generated dataset invalid: %w", err)
-	}
-	return w, nil
+	return &generator{ctx: ctx, cfg: cfg, world: w, rng: root}, nil
 }
 
 // countryCounts allocates a population across countries proportionally to
