@@ -5,11 +5,11 @@
 //
 // Usage:
 //
-//	bbbench                               # full set → BENCH_6.json
+//	bbbench                               # full set → BENCH_8.json
 //	bbbench -set smoke -benchtime 100ms   # reduced CI set, shorter runs
-//	bbbench -baseline BENCH_5.json        # also gate: exit 1 on >20% regression
+//	bbbench -baseline BENCH_7.json        # also gate: exit 1 on >20% regression
 //	bbbench -baseline auto                # gate against the newest BENCH_<n>.json
-//	bbbench -baseline BENCH_5.json -tolerance 0.35
+//	bbbench -baseline BENCH_7.json -tolerance 0.35
 //	bbbench -list                         # enumerate specs and exit
 //
 // -baseline auto picks the committed BENCH_<n>.json with the highest index,
@@ -19,8 +19,11 @@
 // records without gating.
 //
 // A regression is ns/op exceeding the baseline by more than the tolerance:
-// cur > base × (1 + tolerance). Host metadata is recorded so trajectories
-// from different machines are not mistaken for comparable.
+// cur > base × (1 + tolerance). Specs marked GateAllocs additionally hold
+// allocs/op to the same rule — allocation counts on the gated hot paths
+// (world build, experiment fan-out) are deterministic enough to gate on.
+// Host metadata is recorded so trajectories from different machines are
+// not mistaken for comparable.
 package main
 
 import (
@@ -38,7 +41,7 @@ func main() {
 	// forward its -benchtime to testing.Benchmark.
 	testing.Init()
 	var (
-		out       = flag.String("out", "BENCH_6.json", "trajectory file to write")
+		out       = flag.String("out", "BENCH_8.json", "trajectory file to write")
 		set       = flag.String("set", "full", "benchmark set: full or smoke")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark target time (or Nx iteration count)")
 		baseline  = flag.String("baseline", "", "prior trajectory to compare against (or \"auto\" for the newest BENCH_<n>.json); regressions exit nonzero")
@@ -139,7 +142,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbbench: warning: baseline host %s/%s differs from this host %s/%s; ns/op comparison is unreliable\n",
 			base.OS, base.Arch, traj.OS, traj.Arch)
 	}
-	deltas, missing, err := bench.Compare(traj, base, *tolerance)
+	deltas, missing, err := bench.CompareGated(traj, base, *tolerance, bench.AllocGate(specs))
 	if err != nil {
 		fail(err)
 	}
@@ -151,8 +154,17 @@ func main() {
 		if d.Regressed {
 			verdict = "REGRESSED"
 		}
-		fmt.Printf("%-22s %14.1f -> %14.1f ns/op  (%.2fx)  %s\n",
+		line := fmt.Sprintf("%-22s %14.1f -> %14.1f ns/op  (%.2fx)  %s",
 			d.Name, d.BaseNs, d.CurNs, d.Ratio, verdict)
+		if d.AllocGated {
+			allocVerdict := "ok"
+			if d.AllocRegressed {
+				allocVerdict = "REGRESSED"
+			}
+			line += fmt.Sprintf("  | %d -> %d allocs/op (%.2fx) %s",
+				d.BaseAllocs, d.CurAllocs, d.AllocRatio, allocVerdict)
+		}
+		fmt.Println(line)
 	}
 	if reg := bench.Regressions(deltas); len(reg) > 0 {
 		fmt.Fprintf(os.Stderr, "bbbench: %d of %d benchmarks regressed beyond %.0f%% of %s\n",

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArtifactSlug(t *testing.T) {
+	cases := map[string]string{
+		"Fig. 1":   "fig01",
+		"Fig. 12":  "fig12",
+		"Table 2":  "table02",
+		"Table 12": "table12",
+		"Ext. A":   "ext_a",
+	}
+	for id, want := range cases {
+		if got := artifactSlug(id); got != want {
+			t.Errorf("artifactSlug(%q) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestSpecsIncludeArtifactSubBenchmarks(t *testing.T) {
+	byName := map[string]Spec{}
+	for _, s := range Specs() {
+		byName[s.Name] = s
+	}
+	// One sub-spec per registry artifact, full-set only.
+	for _, name := range []string{"artifact_fig01", "artifact_fig12", "artifact_table02", "artifact_table08"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("spec %q missing", name)
+		}
+		if s.Smoke {
+			t.Errorf("%s is in the smoke set; per-artifact specs are full-set only", name)
+		}
+	}
+	// The gated hot paths carry the allocation gate; run_all is in CI's
+	// smoke set so the gate actually runs on every push.
+	for _, name := range []string{"run_all", "world_build_150u"} {
+		s := byName[name]
+		if !s.GateAllocs {
+			t.Errorf("%s should gate allocs/op", name)
+		}
+		if !s.Smoke {
+			t.Errorf("%s should be in the smoke set", name)
+		}
+	}
+	gate := AllocGate(Specs())
+	if !gate["run_all"] || !gate["world_build_150u"] {
+		t.Fatalf("AllocGate = %v, missing gated specs", gate)
+	}
+	if gate["matcher_1000"] {
+		t.Error("AllocGate includes an ungated spec")
+	}
+}
+
+func TestCompareGatedAllocs(t *testing.T) {
+	base := NewTrajectory(time.Unix(0, 0))
+	base.Benchmarks = []Result{
+		{Name: "gated", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "ungated", NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	cur := NewTrajectory(time.Unix(0, 0))
+	cur.Benchmarks = []Result{
+		{Name: "gated", NsPerOp: 1000, AllocsPerOp: 150},
+		{Name: "ungated", NsPerOp: 1000, AllocsPerOp: 150},
+	}
+	deltas, missing, err := CompareGated(cur, base, 0.20, map[string]bool{"gated": true})
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("CompareGated: %v, missing %v", err, missing)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	g := byName["gated"]
+	if !g.AllocGated || !g.AllocRegressed || g.Regressed {
+		t.Fatalf("gated delta = %+v; want alloc regression only", g)
+	}
+	if g.BaseAllocs != 100 || g.CurAllocs != 150 || g.AllocRatio != 1.5 {
+		t.Fatalf("gated alloc fields = %+v", g)
+	}
+	u := byName["ungated"]
+	if u.AllocGated || u.AllocRegressed {
+		t.Fatalf("ungated delta = %+v; alloc growth must not fail ungated specs", u)
+	}
+	if u.AllocRatio != 1.5 {
+		t.Fatalf("ungated delta should still report alloc ratio: %+v", u)
+	}
+
+	if reg := Regressions(deltas); len(reg) != 1 || reg[0].Name != "gated" {
+		t.Fatalf("Regressions = %+v; want the gated alloc failure only", reg)
+	}
+
+	// Within tolerance: no failure.
+	cur.Benchmarks[0].AllocsPerOp = 110
+	deltas, _, err = CompareGated(cur, base, 0.20, map[string]bool{"gated": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("Regressions = %+v; 10%% alloc growth is within tolerance", reg)
+	}
+
+	// Plain Compare never alloc-gates.
+	cur.Benchmarks[0].AllocsPerOp = 500
+	deltas, _, err = Compare(cur, base, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("Compare gated allocs without a gate: %+v", reg)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -24,7 +26,12 @@ type Spec struct {
 	// Smoke marks the spec as part of the reduced set CI runs on every
 	// push; the full set includes everything.
 	Smoke bool
-	Run   func(b *testing.B)
+	// GateAllocs marks the spec's allocs/op as part of the regression
+	// contract: bbbench fails the run when it rises past the baseline by
+	// more than the tolerance, same rule as ns/op. Reserved for specs
+	// whose allocation count is stable enough to gate on.
+	GateAllocs bool
+	Run        func(b *testing.B)
 }
 
 // Measure runs one spec via testing.Benchmark and converts the result.
@@ -52,15 +59,68 @@ func Measure(s Spec) (Result, error) {
 // of the trajectory contract: stable across commits so BENCH_<n>.json
 // files remain comparable.
 func Specs() []Spec {
-	return []Spec{
-		{Name: "world_build_150u", Smoke: true, Run: benchWorldBuild},
+	specs := []Spec{
+		{Name: "world_build_150u", Smoke: true, GateAllocs: true, Run: benchWorldBuild},
 		{Name: "matcher_1000", Smoke: true, Run: benchMatcher1000},
-		{Name: "run_all", Smoke: false, Run: benchRunAll},
+		{Name: "run_all", Smoke: true, GateAllocs: true, Run: benchRunAll},
 		{Name: "stream_encode_2000", Smoke: true, Run: benchStreamEncode},
 		{Name: "stream_decode_2000", Smoke: true, Run: benchStreamDecode},
 		{Name: "fluid_day", Smoke: true, Run: benchFluidDay},
 		{Name: "packet_ndt", Smoke: true, Run: benchPacketNDT},
 		{Name: "simulator_churn", Smoke: true, Run: benchSimulatorChurn},
+	}
+	// Per-artifact sub-benchmarks: one spec per registry entry, so a
+	// regression in run_all can be localized to the figure or table that
+	// caused it. Full-set only — the aggregate run_all spec covers CI.
+	for _, e := range broadband.Experiments() {
+		specs = append(specs, Spec{
+			Name: "artifact_" + artifactSlug(e.ID),
+			Run:  benchArtifact(e.ID),
+		})
+	}
+	return specs
+}
+
+// artifactSlug converts a registry ID ("Fig. 6", "Table 12") into a
+// stable trajectory key ("fig06", "table12"). Numbers are zero-padded so
+// the keys sort in registry order.
+func artifactSlug(id string) string {
+	f := strings.Fields(strings.ToLower(strings.ReplaceAll(id, ".", "")))
+	if len(f) == 2 {
+		if n, err := strconv.Atoi(f[1]); err == nil {
+			return fmt.Sprintf("%s%02d", f[0], n)
+		}
+	}
+	return strings.Join(f, "_")
+}
+
+// AllocGate returns the set of spec names whose allocs/op is gated,
+// keyed for CompareGated.
+func AllocGate(specs []Spec) map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range specs {
+		if s.GateAllocs {
+			out[s.Name] = true
+		}
+	}
+	return out
+}
+
+// benchArtifact measures a single experiment against the shared run_all
+// world.
+func benchArtifact(id string) func(b *testing.B) {
+	return func(b *testing.B) {
+		d, err := runAllWorld()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := broadband.Run(id, d, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

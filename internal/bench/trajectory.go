@@ -82,13 +82,22 @@ func ReadTrajectory(r io.Reader) (*Trajectory, error) {
 
 // Delta compares one benchmark between a current run and a baseline.
 type Delta struct {
-	Name    string
-	BaseNs  float64
-	CurNs   float64
-	Ratio   float64 // CurNs / BaseNs
+	Name   string
+	BaseNs float64
+	CurNs  float64
+	Ratio  float64 // CurNs / BaseNs
 	// Regressed is true when the current ns/op exceeds the baseline by
 	// more than the tolerance: cur > base × (1 + tolerance).
 	Regressed bool
+	// Alloc fields track allocs/op for specs under the allocation gate
+	// (Spec.GateAllocs). AllocGated marks the spec as gated;
+	// AllocRegressed fails the run under the same relative-tolerance rule
+	// as ns/op.
+	BaseAllocs     int64
+	CurAllocs      int64
+	AllocRatio     float64 // CurAllocs / BaseAllocs
+	AllocGated     bool
+	AllocRegressed bool
 }
 
 // Compare matches the current trajectory against a baseline at the given
@@ -98,6 +107,14 @@ type Delta struct {
 // reported so a silent rename cannot hide a regression). Benchmarks new
 // in the current run have no baseline and are not compared.
 func Compare(cur, base *Trajectory, tolerance float64) (deltas []Delta, missing []string, err error) {
+	return CompareGated(cur, base, tolerance, nil)
+}
+
+// CompareGated is Compare with an allocation gate: for each benchmark
+// whose name is in allocGate, allocs/op is held to the same relative
+// tolerance as ns/op. Alloc counts on ungated specs are reported in the
+// deltas but never fail the comparison.
+func CompareGated(cur, base *Trajectory, tolerance float64, allocGate map[string]bool) (deltas []Delta, missing []string, err error) {
 	if tolerance < 0 {
 		return nil, nil, fmt.Errorf("bench: tolerance must be non-negative, got %v", tolerance)
 	}
@@ -111,10 +128,20 @@ func Compare(cur, base *Trajectory, tolerance float64) (deltas []Delta, missing 
 			missing = append(missing, b.Name)
 			continue
 		}
-		d := Delta{Name: b.Name, BaseNs: b.NsPerOp, CurNs: c.NsPerOp}
+		d := Delta{
+			Name: b.Name, BaseNs: b.NsPerOp, CurNs: c.NsPerOp,
+			BaseAllocs: b.AllocsPerOp, CurAllocs: c.AllocsPerOp,
+			AllocGated: allocGate[b.Name],
+		}
 		if b.NsPerOp > 0 {
 			d.Ratio = c.NsPerOp / b.NsPerOp
 			d.Regressed = c.NsPerOp > b.NsPerOp*(1+tolerance)
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocRatio = float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+			if d.AllocGated {
+				d.AllocRegressed = float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance)
+			}
 		}
 		deltas = append(deltas, d)
 	}
@@ -123,11 +150,12 @@ func Compare(cur, base *Trajectory, tolerance float64) (deltas []Delta, missing 
 	return deltas, missing, nil
 }
 
-// Regressions filters a delta set to the failures.
+// Regressions filters a delta set to the failures — a ns/op regression
+// or a gated allocs/op regression.
 func Regressions(deltas []Delta) []Delta {
 	var out []Delta
 	for _, d := range deltas {
-		if d.Regressed {
+		if d.Regressed || d.AllocRegressed {
 			out = append(out, d)
 		}
 	}

@@ -154,33 +154,47 @@ func (m Matcher) MatchWithStats(treated, control []*dataset.User, rng *randx.Sou
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
 
+	// Covariates are gathered into row-major matrices up front, one
+	// extractor call per (user, confounder), so the candidate scan below
+	// works on flat float64 slices instead of re-invoking Value closures
+	// for every pair it examines.
+	nc := len(m.Confounders)
+	floors := make([]float64, nc)
+	tvals := make([]float64, nc*len(treated))
+	cvals := make([]float64, nc*len(control))
+	for j, c := range m.Confounders {
+		floors[j] = c.Floor
+		for i, u := range treated {
+			tvals[i*nc+j] = c.Value(u)
+		}
+		for i, u := range control {
+			cvals[i*nc+j] = c.Value(u)
+		}
+	}
+
 	// Sorted view of the controls on the first confounder. The sort is by
 	// (value, original index), so window scans visit candidates in a
 	// deterministic order whatever sort.Slice does with equal values.
-	windowed := len(m.Confounders) > 0 && caliper < 1
-	var first Confounder
+	windowed := nc > 0 && caliper < 1
+	var firstFloor float64
 	var ctlVals []float64 // control value on the first confounder, by sorted position
 	var ctlIdx []int      // original control index, by sorted position
 	if windowed {
-		first = m.Confounders[0]
+		firstFloor = floors[0]
 		ctlVals = make([]float64, len(control))
 		ctlIdx = make([]int, len(control))
 		for i := range control {
 			ctlIdx[i] = i
 		}
-		vals := make([]float64, len(control))
-		for i, c := range control {
-			vals[i] = first.Value(c)
-		}
 		sort.Slice(ctlIdx, func(a, b int) bool {
-			va, vb := vals[ctlIdx[a]], vals[ctlIdx[b]]
+			va, vb := cvals[ctlIdx[a]*nc], cvals[ctlIdx[b]*nc]
 			if va != vb {
 				return va < vb
 			}
 			return ctlIdx[a] < ctlIdx[b]
 		})
 		for i, ci := range ctlIdx {
-			ctlVals[i] = vals[ci]
+			ctlVals[i] = cvals[ci*nc]
 		}
 	}
 
@@ -188,10 +202,11 @@ func (m Matcher) MatchWithStats(treated, control []*dataset.User, rng *randx.Sou
 	var pairs []Pair
 	for _, ti := range order {
 		t := treated[ti]
+		tv := tvals[ti*nc : ti*nc+nc]
 		lo, hi := 0, len(control)
 		if windowed {
-			v := first.Value(t)
-			r := (caliper*math.Abs(v) + first.Floor) / (1 - caliper)
+			v := tv[0]
+			r := (caliper*math.Abs(v) + firstFloor) / (1 - caliper)
 			lo = sort.SearchFloat64s(ctlVals, v-r)
 			hi = sort.SearchFloat64s(ctlVals, v+r)
 			// SearchFloat64s finds the first value >= v+r; values equal to
@@ -213,7 +228,38 @@ func (m Matcher) MatchWithStats(treated, control []*dataset.User, rng *randx.Sou
 				continue
 			}
 			stats.CandidatesExamined++
-			d, ok := m.distance(t, control[ci], caliper)
+			// Inlined distance over the gathered matrices: the arithmetic is
+			// operation-for-operation the same as Matcher.distance, so the
+			// selected pairs are bit-identical to the closure-based scan.
+			cv := cvals[ci*nc : ci*nc+nc]
+			d := 0.0
+			ok := true
+			for j := 0; j < nc; j++ {
+				va, vb := tv[j], cv[j]
+				diff := va - vb
+				if diff < 0 {
+					diff = -diff
+				}
+				aa, ab := va, vb
+				if aa < 0 {
+					aa = -aa
+				}
+				if ab < 0 {
+					ab = -ab
+				}
+				hiv := aa
+				if ab > hiv {
+					hiv = ab
+				}
+				denom := caliper*hiv + floors[j]
+				if !(diff <= denom) {
+					ok = false
+					break
+				}
+				if denom > 0 {
+					d += diff / denom
+				}
+			}
 			if !ok {
 				stats.DroppedByCaliper++
 				continue

@@ -22,11 +22,30 @@ func matches(u *User, preds []Pred) bool {
 }
 
 // Select returns pointers to the users satisfying every predicate.
+//
+// Deprecated-in-spirit compatibility shim: the interior pointers pin the
+// entire backing array for as long as any selection lives, so a small
+// selection keeps a huge panel reachable. In-repo selection runs on
+// SelectIdx (index vectors) or Panel.Where (columnar views); Select
+// remains for external callers that want the pointer form.
 func Select(users []User, preds ...Pred) []*User {
 	var out []*User
 	for i := range users {
 		if matches(&users[i], preds) {
 			out = append(out, &users[i])
+		}
+	}
+	return out
+}
+
+// SelectIdx returns the indices of the users satisfying every predicate,
+// in ascending order — the same rows Select yields, without interior
+// pointers: the selection retains nothing once the indices are dropped.
+func SelectIdx(users []User, preds ...Pred) []int {
+	var out []int
+	for i := range users {
+		if matches(&users[i], preds) {
+			out = append(out, i)
 		}
 	}
 	return out

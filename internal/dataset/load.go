@@ -114,5 +114,6 @@ func LoadDir(dir string) (*Dataset, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("dataset: loaded data invalid: %w", err)
 	}
+	d.Freeze()
 	return d, nil
 }

@@ -619,6 +619,9 @@ func LoadDirRobust(dir string, opts QuarantineOptions) (*Dataset, *QuarantineRep
 	if err := d.Validate(); err != nil {
 		return nil, rep, fmt.Errorf("dataset: robust load left invalid data: %w", err)
 	}
+	// Freeze only after the dedup/demotion post-passes above: the panel
+	// must project the surviving rows, not the raw parse.
+	d.Freeze()
 	return d, rep, nil
 }
 

@@ -128,6 +128,48 @@ type Dataset struct {
 	// Markets holds the per-country summaries (access price, upgrade cost),
 	// keyed by ISO code.
 	Markets map[string]market.MarketSummary
+
+	// panel caches the columnar projection of Users. It is attached at
+	// single-threaded construction points (world build, dataset load) via
+	// Freeze; Panel falls back to building an uncached projection when the
+	// cache is missing or its length no longer matches Users. A plain
+	// pointer, not a sync primitive: Dataset must stay copyable by value,
+	// and the concurrency contract is "freeze before fanning out readers".
+	// Code that mutates Users in place must call ResetPanel.
+	panel *Panel
+}
+
+// Freeze builds (or rebuilds) the cached columnar panel from Users and
+// returns it. Call it after constructing or mutating a dataset, before
+// concurrent readers start; it is not itself safe for concurrent use.
+func (d *Dataset) Freeze() *Panel {
+	if d.panel == nil || d.panel.Len() != len(d.Users) {
+		d.panel = BuildPanel(d.Users)
+	}
+	return d.panel
+}
+
+// Panel returns the columnar projection of Users: the cached panel when
+// fresh, otherwise a newly built uncached one. Safe for concurrent readers
+// as long as nobody mutates the dataset underneath them.
+func (d *Dataset) Panel() *Panel {
+	if d.panel != nil && d.panel.Len() == len(d.Users) {
+		return d.panel
+	}
+	return BuildPanel(d.Users)
+}
+
+// ResetPanel drops the cached panel; the next Freeze or Panel rebuilds it.
+func (d *Dataset) ResetPanel() { d.panel = nil }
+
+// AttachPanel installs a pre-built panel as the cache — used by world
+// generation, which builds the columns first and materializes Users from
+// them. A panel whose length does not match Users is ignored (Panel would
+// treat it as stale anyway).
+func (d *Dataset) AttachPanel(p *Panel) {
+	if p != nil && p.Len() == len(d.Users) {
+		d.panel = p
+	}
 }
 
 // MarketOf returns the market summary for a user's country.

@@ -68,16 +68,13 @@ func (s Series) render(xName, yName string, scale float64) string {
 	return b.String()
 }
 
-// classSeries aggregates a user metric by the paper's 100 kbps × 2^k
+// classSeries aggregates one usage column by the paper's 100 kbps × 2^k
 // capacity classes: per-class mean with 95% CI, positioned at the geometric
 // center of the class in Mbps. Classes with fewer than minN users are
-// dropped.
-func classSeries(label string, users []*dataset.User, metric dataset.Metric, minN int) Series {
-	groups := make(map[stats.CapacityClass][]float64)
-	for _, u := range users {
-		c := stats.ClassOf(u.Capacity)
-		groups[c] = append(groups[c], metric(u))
-	}
+// dropped. The aggregation runs columnar — per-class index vectors into
+// col, no per-class value copies.
+func classSeries(label string, v dataset.View, col []float64, minN int) Series {
+	groups := byClass(v)
 	classes := make([]stats.CapacityClass, 0, len(groups))
 	for c := range groups {
 		classes = append(classes, c)
@@ -85,18 +82,50 @@ func classSeries(label string, users []*dataset.User, metric dataset.Metric, min
 	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
 	s := Series{Label: label}
 	for _, c := range classes {
-		vals := groups[c]
-		if len(vals) < minN {
+		idx := groups[c].Idx
+		if len(idx) < minN {
 			continue
 		}
-		iv, err := stats.MeanCI(vals, 0.95)
+		iv, err := stats.MeanCIIdx(col, idx, 0.95)
 		if err != nil {
 			continue
 		}
 		x := math.Sqrt(c.Lower().Mbps() * c.Upper().Mbps())
-		s.Points = append(s.Points, SeriesPoint{X: x, Y: iv.Point, Lo: iv.Lo, Hi: iv.Hi, N: len(vals)})
+		s.Points = append(s.Points, SeriesPoint{X: x, Y: iv.Point, Lo: iv.Lo, Hi: iv.Hi, N: len(idx)})
 	}
 	return s
+}
+
+// byClass splits a view into per-capacity-class sub-views, preserving view
+// order within each class.
+func byClass(v dataset.View) map[stats.CapacityClass]dataset.View {
+	groups := make(map[stats.CapacityClass][]int32)
+	for _, i := range v.Idx {
+		c := stats.ClassOf(unit.Bitrate(v.P.Capacity[i]))
+		groups[c] = append(groups[c], i)
+	}
+	out := make(map[stats.CapacityClass]dataset.View, len(groups))
+	for c, idx := range groups {
+		out[c] = dataset.View{P: v.P, Idx: idx}
+	}
+	return out
+}
+
+// usagePanels is the four-way metric × BT-handling sweep Figs. 2 and 6
+// share: each entry names a subfigure and its usage column.
+func usagePanels(p *dataset.Panel) []struct {
+	Name string
+	Col  []float64
+} {
+	return []struct {
+		Name string
+		Col  []float64
+	}{
+		{"(a) mean w/ BT", p.UsageMean},
+		{"(b) 95th %ile w/ BT", p.UsagePeak},
+		{"(c) mean no BT", p.UsageMeanNoBT},
+		{"(d) 95th %ile no BT", p.UsagePeakNoBT},
+	}
 }
 
 // seriesLogCorrelation is the log-log Pearson correlation of a binned
@@ -129,21 +158,38 @@ func fmtMs(v float64) string { return fmt.Sprintf("%.3g ms", v*1000) }
 // fmtPct formats a fraction as percent.
 func fmtPct(v float64) string { return fmt.Sprintf("%.3g%%", v*100) }
 
-// dasuUsers selects the end-host panel (all years unless year > 0).
-func dasuUsers(d *dataset.Dataset, year int) []*dataset.User {
-	preds := []dataset.Pred{dataset.ByVantage(dataset.VantageDasu)}
+// dasuView selects the end-host panel (all years unless year > 0) as a
+// columnar view.
+func dasuView(d *dataset.Dataset, year int) dataset.View {
+	preds := []dataset.ColPred{dataset.ColVantage(dataset.VantageDasu)}
 	if year > 0 {
-		preds = append(preds, dataset.ByYear(year))
+		preds = append(preds, dataset.ColYear(year))
 	}
-	return dataset.Select(d.Users, preds...)
+	return d.Panel().Where(preds...)
 }
 
-// primaryYear returns the latest year present in the Dasu panel.
+// yearsOf gathers the sorted distinct observation years of a view — the
+// one column-gather seam behind primaryYear and Fig. 6's cohort list
+// (which previously each re-scanned the user structs).
+func yearsOf(v dataset.View) []int {
+	set := map[int]bool{}
+	for _, i := range v.Idx {
+		set[v.P.Year[i]] = true
+	}
+	years := make([]int, 0, len(set))
+	for y := range set {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	return years
+}
+
+// primaryYear returns the latest year present in the panel.
 func primaryYear(d *dataset.Dataset) int {
 	year := 0
-	for i := range d.Users {
-		if d.Users[i].Year > year {
-			year = d.Users[i].Year
+	for _, y := range yearsOf(d.Panel().All()) {
+		if y > year {
+			year = y
 		}
 	}
 	return year

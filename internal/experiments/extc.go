@@ -76,10 +76,17 @@ func (e *ExtC) Render() string {
 
 // RunExtC evaluates the design comparison over a set of capacity rungs.
 func RunExtC(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
-	byClass := map[stats.CapacityClass][]*dataset.User{}
-	for _, u := range users {
-		byClass[stats.ClassOf(u.Capacity)] = append(byClass[stats.ClassOf(u.Capacity)], u)
+	classes := byClass(dasuView(d, 0))
+	// Both designs reuse the same class groups; materialize each class's
+	// rows from the columnar view once, shared across rungs.
+	classUsers := map[stats.CapacityClass][]*dataset.User{}
+	usersOf := func(k stats.CapacityClass) []*dataset.User {
+		if u, ok := classUsers[k]; ok {
+			return u
+		}
+		u := classes[k].Users()
+		classUsers[k] = u
+		return u
 	}
 	confs := []core.Confounder{
 		core.ConfounderRTT(), core.ConfounderLoss(),
@@ -92,8 +99,8 @@ func RunExtC(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 		row := ExtCRow{Control: k, Treatment: k + 1}
 		exp := core.Experiment{
 			Name:      fmt.Sprintf("nn %v", k),
-			Treatment: byClass[k+1],
-			Control:   byClass[k],
+			Treatment: usersOf(k + 1),
+			Control:   usersOf(k),
 			Matcher:   core.Matcher{Confounders: confs},
 			Outcome:   dataset.PeakUsageNoBT,
 			MinPairs:  MinGroup,
@@ -109,8 +116,8 @@ func RunExtC(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 		}
 		qed := core.QED{
 			Name:        fmt.Sprintf("qed %v", k),
-			Treatment:   byClass[k+1],
-			Control:     byClass[k],
+			Treatment:   usersOf(k + 1),
+			Control:     usersOf(k),
 			Confounders: confs,
 			Outcome:     dataset.PeakUsageNoBT,
 			MinPairs:    MinGroup,

@@ -11,6 +11,7 @@ import (
 	"github.com/nwca/broadband/internal/randx"
 	"github.com/nwca/broadband/internal/stats"
 	"github.com/nwca/broadband/internal/traffic"
+	"github.com/nwca/broadband/internal/unit"
 )
 
 // Extensions lists the analyses that go beyond the paper's published
@@ -88,13 +89,14 @@ func (e *ExtA) Render() string {
 
 // RunExtA evaluates the usage-cap experiment.
 func RunExtA(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
-	var capped, uncapped []*dataset.User
-	for _, u := range users {
-		if u.PlanCap == 0 {
-			uncapped = append(uncapped, u)
+	v := dasuView(d, 0)
+	p := v.P
+	var cappedIdx, uncappedIdx []int32
+	for _, i := range v.Idx {
+		if p.PlanCap[i] == 0 {
+			uncappedIdx = append(uncappedIdx, i)
 		} else {
-			capped = append(capped, u)
+			cappedIdx = append(cappedIdx, i)
 		}
 	}
 	// Class-typical uncapped monthly volume, the pre-treatment yardstick
@@ -102,9 +104,9 @@ func RunExtA(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 	classMonthly := map[stats.CapacityClass]float64{}
 	{
 		byClass := map[stats.CapacityClass][]float64{}
-		for _, u := range uncapped {
-			c := stats.ClassOf(u.Capacity)
-			byClass[c] = append(byClass[c], float64(u.Usage.MeanNoBT)/8*86400*30)
+		for _, i := range uncappedIdx {
+			c := stats.ClassOf(unit.Bitrate(p.Capacity[i]))
+			byClass[c] = append(byClass[c], p.UsageMeanNoBT[i]/8*86400*30)
 		}
 		for c, vols := range byClass {
 			if med, err := stats.Median(vols); err == nil {
@@ -112,16 +114,19 @@ func RunExtA(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 			}
 		}
 	}
-	var tight []*dataset.User
-	for _, u := range capped {
-		if typical, ok := classMonthly[stats.ClassOf(u.Capacity)]; ok && float64(u.PlanCap) < 1.2*typical {
-			tight = append(tight, u)
+	var tightIdx []int32
+	for _, i := range cappedIdx {
+		if typical, ok := classMonthly[stats.ClassOf(unit.Bitrate(p.Capacity[i]))]; ok && float64(p.PlanCap[i]) < 1.2*typical {
+			tightIdx = append(tightIdx, i)
 		}
 	}
-	if len(capped) == 0 || len(uncapped) == 0 {
-		return nil, fmt.Errorf("extA: need both capped (%d) and uncapped (%d) users", len(capped), len(uncapped))
+	if len(cappedIdx) == 0 || len(uncappedIdx) == 0 {
+		return nil, fmt.Errorf("extA: need both capped (%d) and uncapped (%d) users", len(cappedIdx), len(uncappedIdx))
 	}
-	e := &ExtA{CappedShare: float64(len(capped)) / float64(len(users))}
+	capped := dataset.View{P: p, Idx: cappedIdx}.Users()
+	uncapped := dataset.View{P: p, Idx: uncappedIdx}.Users()
+	tight := dataset.View{P: p, Idx: tightIdx}.Users()
+	e := &ExtA{CappedShare: float64(len(capped)) / float64(v.Len())}
 	m := core.Matcher{Confounders: []core.Confounder{
 		core.ConfounderCapacity(), core.ConfounderRTT(), core.ConfounderLoss(),
 		core.ConfounderAccessPrice(), core.ConfounderUpgradeCost(),
@@ -206,28 +211,29 @@ func (e *ExtB) Render() string {
 
 // RunExtB evaluates the user-category analysis.
 func RunExtB(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
-	byArch := map[traffic.Archetype][]*dataset.User{}
-	for _, u := range users {
-		byArch[u.Archetype] = append(byArch[u.Archetype], u)
+	v := dasuView(d, 0)
+	p := v.P
+	byArch := map[traffic.Archetype][]int32{}
+	for _, i := range v.Idx {
+		byArch[p.Archetype[i]] = append(byArch[p.Archetype[i]], i)
 	}
 	e := &ExtB{}
 	archs := traffic.Archetypes()
 	sort.Slice(archs, func(i, j int) bool { return archs[i] < archs[j] })
 	for _, a := range archs {
-		group := byArch[a]
-		if len(group) < MinGroup {
+		idx := byArch[a]
+		if len(idx) < MinGroup {
 			continue
 		}
-		mean, err := stats.MeanCI(dataset.Values(group, dataset.MeanUsageNoBT), 0.95)
+		mean, err := stats.MeanCIIdx(p.UsageMeanNoBT, idx, 0.95)
 		if err != nil {
 			return nil, err
 		}
-		peak, err := stats.MeanCI(dataset.Values(group, dataset.PeakUsageNoBT), 0.95)
+		peak, err := stats.MeanCIIdx(p.UsagePeakNoBT, idx, 0.95)
 		if err != nil {
 			return nil, err
 		}
-		e.Rows = append(e.Rows, ExtBRow{Archetype: a, N: len(group), MeanDemand: mean, PeakDemand: peak})
+		e.Rows = append(e.Rows, ExtBRow{Archetype: a, N: len(idx), MeanDemand: mean, PeakDemand: peak})
 	}
 	if len(e.Rows) < 3 {
 		return nil, fmt.Errorf("extB: only %d archetypes populated", len(e.Rows))
@@ -235,8 +241,8 @@ func RunExtB(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 
 	exp := core.Experiment{
 		Name:      "streamers vs browsers",
-		Treatment: byArch[traffic.Streamer],
-		Control:   byArch[traffic.Browser],
+		Treatment: dataset.View{P: p, Idx: byArch[traffic.Streamer]}.Users(),
+		Control:   dataset.View{P: p, Idx: byArch[traffic.Browser]}.Users(),
 		Matcher: core.Matcher{Confounders: []core.Confounder{
 			core.ConfounderCapacity(), core.ConfounderRTT(), core.ConfounderLoss(),
 			core.ConfounderAccessPrice(),
@@ -258,15 +264,15 @@ func RunExtB(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 	// gamer median demand far more than half the time.
 	gamers := byArch[traffic.Gamer]
 	if len(gamers) >= MinGroup {
-		med, err := stats.Median(dataset.Values(gamers, dataset.MeanUsageNoBT))
+		med, err := stats.Median(dataset.View{P: p, Idx: gamers}.Gather(p.UsageMeanNoBT))
 		if err != nil {
 			return nil, err
 		}
 		below, total := 0, 0
-		for _, u := range gamers {
-			if u.RTT > 0.25 {
+		for _, i := range gamers {
+			if p.RTT[i] > 0.25 {
 				total++
-				if float64(u.Usage.MeanNoBT) < med {
+				if p.UsageMeanNoBT[i] < med {
 					below++
 				}
 			}

@@ -58,29 +58,31 @@ func (f *Fig01) Render() string {
 
 // RunFig01 computes the characterization figure.
 func RunFig01(d *dataset.Dataset, _ *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
-	if len(users) == 0 {
+	v := dasuView(d, 0)
+	if v.Len() == 0 {
 		return nil, fmt.Errorf("fig01: no end-host users")
 	}
-	f := &Fig01{}
-	for _, u := range users {
-		f.capVals = append(f.capVals, float64(u.Capacity))
-		f.rttVals = append(f.rttVals, u.RTT)
-		f.lossVals = append(f.lossVals, float64(u.Loss))
-		if u.Capacity < 1e6 {
+	p := v.P
+	f := &Fig01{
+		capVals:  v.Gather(p.Capacity),
+		rttVals:  v.Gather(p.RTT),
+		lossVals: v.Gather(p.Loss),
+	}
+	for _, i := range v.Idx {
+		if p.Capacity[i] < 1e6 {
 			f.FracBelow1Mbps++
 		}
-		if u.Capacity > 30e6 {
+		if p.Capacity[i] > 30e6 {
 			f.FracAbove30Mbps++
 		}
-		if u.RTT > 0.5 {
+		if p.RTT[i] > 0.5 {
 			f.FracRTTOver500++
 		}
-		if u.Loss > 0.01 {
+		if p.Loss[i] > 0.01 {
 			f.FracLossOver1++
 		}
 	}
-	n := float64(len(users))
+	n := float64(v.Len())
 	f.FracBelow1Mbps /= n
 	f.FracAbove30Mbps /= n
 	f.FracRTTOver500 /= n

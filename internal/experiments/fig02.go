@@ -44,30 +44,21 @@ func (f *Fig02) Render() string {
 
 // RunFig02 computes the capacity-vs-usage figure.
 func RunFig02(d *dataset.Dataset, _ *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
-	if len(users) == 0 {
+	v := dasuView(d, 0)
+	if v.Len() == 0 {
 		return nil, fmt.Errorf("fig02: no end-host users")
 	}
-	panels := []struct {
-		name   string
-		metric dataset.Metric
-	}{
-		{"(a) mean w/ BT", dataset.MeanUsage},
-		{"(b) 95th %ile w/ BT", dataset.PeakUsage},
-		{"(c) mean no BT", dataset.MeanUsageNoBT},
-		{"(d) 95th %ile no BT", dataset.PeakUsageNoBT},
-	}
 	f := &Fig02{}
-	for _, p := range panels {
-		s := classSeries(p.name, users, p.metric, MinGroup)
+	for _, p := range usagePanels(v.P) {
+		s := classSeries(p.Name, v, p.Col, MinGroup)
 		if len(s.Points) < 3 {
-			return nil, fmt.Errorf("fig02: panel %q has only %d populated classes", p.name, len(s.Points))
+			return nil, fmt.Errorf("fig02: panel %q has only %d populated classes", p.Name, len(s.Points))
 		}
 		r, err := seriesLogCorrelation(s)
 		if err != nil {
-			return nil, fmt.Errorf("fig02: panel %q: %w", p.name, err)
+			return nil, fmt.Errorf("fig02: panel %q: %w", p.Name, err)
 		}
-		f.Panels = append(f.Panels, Fig02Panel{Name: p.name, Series: s, R: r})
+		f.Panels = append(f.Panels, Fig02Panel{Name: p.Name, Series: s, R: r})
 	}
 	return f, nil
 }

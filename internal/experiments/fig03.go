@@ -47,17 +47,18 @@ func (f *Fig03) Render() string {
 // RunFig03 computes the cross-vantage comparison.
 func RunFig03(d *dataset.Dataset, _ *randx.Source) (Report, error) {
 	year := primaryYear(d)
-	fcc := dataset.Select(d.Users, dataset.ByVantage(dataset.VantageGateway))
-	dasuUS := dataset.Select(d.Users,
-		dataset.ByVantage(dataset.VantageDasu), dataset.ByCountry("US"), dataset.ByYear(year))
-	if len(fcc) == 0 || len(dasuUS) == 0 {
-		return nil, fmt.Errorf("fig03: need both panels (fcc=%d, dasu-us=%d)", len(fcc), len(dasuUS))
+	p := d.Panel()
+	fcc := p.Where(dataset.ColVantage(dataset.VantageGateway))
+	dasuUS := p.Where(
+		dataset.ColVantage(dataset.VantageDasu), dataset.ColCountry("US"), dataset.ColYear(year))
+	if fcc.Len() == 0 || dasuUS.Len() == 0 {
+		return nil, fmt.Errorf("fig03: need both panels (fcc=%d, dasu-us=%d)", fcc.Len(), dasuUS.Len())
 	}
 	f := &Fig03{
-		MeanFCC:  classSeries("FCC mean", fcc, dataset.MeanUsageNoBT, MinGroup),
-		MeanDasu: classSeries("Dasu US mean", dasuUS, dataset.MeanUsageNoBT, MinGroup),
-		PeakFCC:  classSeries("FCC 95th %ile", fcc, dataset.PeakUsageNoBT, MinGroup),
-		PeakDasu: classSeries("Dasu US 95th %ile", dasuUS, dataset.PeakUsageNoBT, MinGroup),
+		MeanFCC:  classSeries("FCC mean", fcc, p.UsageMeanNoBT, MinGroup),
+		MeanDasu: classSeries("Dasu US mean", dasuUS, p.UsageMeanNoBT, MinGroup),
+		PeakFCC:  classSeries("FCC 95th %ile", fcc, p.UsagePeakNoBT, MinGroup),
+		PeakDasu: classSeries("Dasu US 95th %ile", dasuUS, p.UsagePeakNoBT, MinGroup),
 	}
 	if len(f.MeanFCC.Points) < 2 || len(f.MeanDasu.Points) < 2 {
 		return nil, fmt.Errorf("fig03: too few populated classes")

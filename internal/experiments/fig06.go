@@ -74,54 +74,31 @@ func (f *Fig06) Render() string {
 
 // RunFig06 computes the longitudinal figure and its companion experiment.
 func RunFig06(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	yearsSet := map[int]bool{}
-	for i := range d.Users {
-		if d.Users[i].Vantage == dataset.VantageDasu {
-			yearsSet[d.Users[i].Year] = true
-		}
-	}
-	var years []int
-	for y := range yearsSet {
-		years = append(years, y)
-	}
-	sort.Ints(years)
+	dasu := dasuView(d, 0)
+	years := yearsOf(dasu)
 	if len(years) < 2 {
 		return nil, fmt.Errorf("fig06: need at least two cohort years, have %v", years)
 	}
 	f := &Fig06{Years: years}
-	panels := []struct {
-		name   string
-		metric dataset.Metric
-	}{
-		{"(a) mean w/ BT", dataset.MeanUsage},
-		{"(b) 95th %ile w/ BT", dataset.PeakUsage},
-		{"(c) mean no BT", dataset.MeanUsageNoBT},
-		{"(d) 95th %ile no BT", dataset.PeakUsageNoBT},
+	yearViews := make([]dataset.View, len(years))
+	for i, y := range years {
+		yearViews[i] = dasu.Where(dataset.ColYear(y))
 	}
-	for _, p := range panels {
-		panel := Fig06Panel{Name: p.name}
-		for _, y := range years {
-			users := dasuUsers(d, y)
-			panel.Series = append(panel.Series, classSeries(fmt.Sprintf("%d", y), users, p.metric, MinGroup))
+	for _, p := range usagePanels(dasu.P) {
+		panel := Fig06Panel{Name: p.Name}
+		for i, y := range years {
+			panel.Series = append(panel.Series, classSeries(fmt.Sprintf("%d", y), yearViews[i], p.Col, MinGroup))
 		}
 		f.Panels = append(f.Panels, panel)
 	}
 
 	// Companion experiment: within each class, latest year vs earliest.
 	first, last := years[0], years[len(years)-1]
-	firstUsers := dasuUsers(d, first)
-	lastUsers := dasuUsers(d, last)
-	byClass := func(us []*dataset.User) map[stats.CapacityClass][]*dataset.User {
-		m := make(map[stats.CapacityClass][]*dataset.User)
-		for _, u := range us {
-			m[stats.ClassOf(u.Capacity)] = append(m[stats.ClassOf(u.Capacity)], u)
-		}
-		return m
-	}
-	oldByClass, newByClass := byClass(firstUsers), byClass(lastUsers)
+	oldByClass := byClass(yearViews[0])
+	newByClass := byClass(yearViews[len(years)-1])
 	var classes []stats.CapacityClass
 	for c := range newByClass {
-		if len(oldByClass[c]) >= MinGroup && len(newByClass[c]) >= MinGroup {
+		if oldByClass[c].Len() >= MinGroup && newByClass[c].Len() >= MinGroup {
 			classes = append(classes, c)
 		}
 	}
@@ -129,8 +106,8 @@ func RunFig06(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 	for _, c := range classes {
 		exp := core.Experiment{
 			Name:      fmt.Sprintf("%v: %d vs %d", c, last, first),
-			Treatment: newByClass[c],
-			Control:   oldByClass[c],
+			Treatment: newByClass[c].Users(),
+			Control:   oldByClass[c].Users(),
 			Matcher:   quadMatcher(),
 			Outcome:   dataset.PeakUsageNoBT,
 			MinPairs:  MinGroup,

@@ -66,14 +66,15 @@ func RunFig07(d *dataset.Dataset, _ *randx.Source) (Report, error) {
 		MedianCapacity:  map[string]float64{},
 		MeanUtilization: map[string]float64{},
 	}
+	p := d.Panel()
 	for _, cc := range CaseStudyCountries {
-		users := dataset.Select(d.Users, dataset.ByCountry(cc), dataset.ByVantage(dataset.VantageDasu))
-		if len(users) < 5 {
-			return nil, fmt.Errorf("fig07: only %d users in %s", len(users), cc)
+		v := p.Where(dataset.ColCountry(cc), dataset.ColVantage(dataset.VantageDasu))
+		if v.Len() < 5 {
+			return nil, fmt.Errorf("fig07: only %d users in %s", v.Len(), cc)
 		}
-		for _, u := range users {
-			f.Capacity[cc] = append(f.Capacity[cc], u.Capacity.Mbps())
-			f.Utilization[cc] = append(f.Utilization[cc], u.PeakUtilization())
+		for _, i := range v.Idx {
+			f.Capacity[cc] = append(f.Capacity[cc], p.Capacity[i]/1e6)
+			f.Utilization[cc] = append(f.Utilization[cc], p.PeakUtilization(int(i)))
 		}
 		med, err := stats.Median(f.Capacity[cc])
 		if err != nil {

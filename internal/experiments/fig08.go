@@ -7,6 +7,7 @@ import (
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/randx"
 	"github.com/nwca/broadband/internal/stats"
+	"github.com/nwca/broadband/internal/unit"
 )
 
 // Fig08 reproduces Figure 8: CDFs of peak link utilization per service tier
@@ -62,13 +63,14 @@ func (f *Fig08) Group(country string, tier stats.Tier) (Fig08Group, bool) {
 // RunFig08 computes the per-tier utilization distributions.
 func RunFig08(d *dataset.Dataset, _ *randx.Source) (Report, error) {
 	f := &Fig08{}
+	p := d.Panel()
 	for _, cc := range CaseStudyCountries {
-		users := dataset.Select(d.Users, dataset.ByCountry(cc), dataset.ByVantage(dataset.VantageDasu))
+		v := p.Where(dataset.ColCountry(cc), dataset.ColVantage(dataset.VantageDasu))
 		for _, tier := range stats.Tiers() {
 			var vals []float64
-			for _, u := range users {
-				if stats.TierOf(u.Capacity) == tier {
-					vals = append(vals, u.PeakUtilization())
+			for _, i := range v.Idx {
+				if stats.TierOf(unit.Bitrate(p.Capacity[i])) == tier {
+					vals = append(vals, p.PeakUtilization(int(i)))
 				}
 			}
 			if len(vals) < MinGroup {

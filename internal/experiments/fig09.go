@@ -57,23 +57,19 @@ func (f *Fig09) Bar(country string, tier stats.Tier) (Fig09Bar, bool) {
 // RunFig09 computes the per-tier demand bars.
 func RunFig09(d *dataset.Dataset, _ *randx.Source) (Report, error) {
 	f := &Fig09{}
+	p := d.Panel()
 	for _, cc := range CaseStudyCountries {
-		users := dataset.Select(d.Users, dataset.ByCountry(cc), dataset.ByVantage(dataset.VantageDasu))
+		v := p.Where(dataset.ColCountry(cc), dataset.ColVantage(dataset.VantageDasu))
 		for _, tier := range stats.Tiers() {
-			var vals []float64
-			for _, u := range users {
-				if stats.TierOf(u.Capacity) == tier {
-					vals = append(vals, float64(u.Usage.PeakNoBT))
-				}
-			}
-			if len(vals) < MinGroup {
+			tv := v.Where(dataset.ColTier(tier))
+			if tv.Len() < MinGroup {
 				continue
 			}
-			iv, err := stats.MeanCI(vals, 0.95)
+			iv, err := stats.MeanCIIdx(p.UsagePeakNoBT, tv.Idx, 0.95)
 			if err != nil {
 				continue
 			}
-			f.Bars = append(f.Bars, Fig09Bar{Country: cc, Tier: tier, Demand: iv, N: len(vals)})
+			f.Bars = append(f.Bars, Fig09Bar{Country: cc, Tier: tier, Demand: iv, N: tv.Len()})
 		}
 	}
 	if len(f.Bars) == 0 {

@@ -70,27 +70,29 @@ func (f *Fig11) Render() string {
 
 // RunFig11 computes the India latency comparison.
 func RunFig11(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	all := dasuUsers(d, 0)
+	all := dasuView(d, 0)
 	year := primaryYear(d)
+	p := all.P
+	inCode, inKnown := p.Countries.Code("IN")
 	f := &Fig11{}
 	over := 0
 	indiaCount := 0
-	for _, u := range all {
-		if u.Country == "IN" {
+	for _, i := range all.Idx {
+		if inKnown && p.Country[i] == inCode {
 			indiaCount++
-			f.NDTIndiaAll = append(f.NDTIndiaAll, u.RTT)
-			if u.RTT > 0.1 {
+			f.NDTIndiaAll = append(f.NDTIndiaAll, p.RTT[i])
+			if p.RTT[i] > 0.1 {
 				over++
 			}
-			if u.Year == year {
-				f.NDTIndia14 = append(f.NDTIndia14, u.RTT)
-				f.WebIndia14 = append(f.WebIndia14, u.WebRTT)
+			if p.Year[i] == year {
+				f.NDTIndia14 = append(f.NDTIndia14, p.RTT[i])
+				f.WebIndia14 = append(f.WebIndia14, p.WebRTT[i])
 			}
 		} else {
-			f.NDTOtherAll = append(f.NDTOtherAll, u.RTT)
-			if u.Year == year {
-				f.NDTOther14 = append(f.NDTOther14, u.RTT)
-				f.WebOther14 = append(f.WebOther14, u.WebRTT)
+			f.NDTOtherAll = append(f.NDTOtherAll, p.RTT[i])
+			if p.Year[i] == year {
+				f.NDTOther14 = append(f.NDTOther14, p.RTT[i])
+				f.WebOther14 = append(f.WebOther14, p.WebRTT[i])
 			}
 		}
 	}
@@ -113,8 +115,8 @@ func RunFig11(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 	// capacity; H (as the paper frames its surprise): the US user, enjoying
 	// lower latency and loss, imposes HIGHER demand despite the lower
 	// access price.
-	india := dataset.Select(d.Users, dataset.ByCountry("IN"), dataset.ByVantage(dataset.VantageDasu))
-	us := dataset.Select(d.Users, dataset.ByCountry("US"), dataset.ByVantage(dataset.VantageDasu))
+	india := p.Where(dataset.ColCountry("IN"), dataset.ColVantage(dataset.VantageDasu)).Users()
+	us := p.Where(dataset.ColCountry("US"), dataset.ColVantage(dataset.VantageDasu)).Users()
 	exp := core.Experiment{
 		Name:      "US vs India at matched capacity",
 		Treatment: us,

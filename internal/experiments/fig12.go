@@ -46,11 +46,13 @@ func (f *Fig12) Render() string {
 
 // RunFig12 computes the India loss comparison.
 func RunFig12(d *dataset.Dataset, _ *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
+	v := dasuView(d, 0)
+	p := v.P
+	inCode, inKnown := p.Countries.Code("IN")
 	f := &Fig12{}
-	for _, u := range users {
-		l := float64(u.Loss)
-		if u.Country == "IN" {
+	for _, i := range v.Idx {
+		l := p.Loss[i]
+		if inKnown && p.Country[i] == inCode {
 			f.India = append(f.India, l)
 			if l > 0.01 {
 				f.FracIndiaOver1++

@@ -217,7 +217,7 @@ func OverviewFromSource(src dataset.UserSource) (*StreamOverview, error) {
 // machinery (sorted order statistics, two-pass variance). It is the golden
 // reference the sketch is compared against under the tolerance manifest.
 func OverviewExact(users []dataset.User) (*StreamOverview, error) {
-	sel := dataset.Select(users, dataset.ByVantage(dataset.VantageDasu))
+	sel := dataset.SelectIdx(users, dataset.ByVantage(dataset.VantageDasu))
 	if len(sel) == 0 {
 		return nil, fmt.Errorf("experiments: overview of an empty end-host panel")
 	}
@@ -232,8 +232,8 @@ func OverviewExact(users []dataset.User) (*StreamOverview, error) {
 	}
 	for _, m := range metrics {
 		xs := make([]float64, len(sel))
-		for i, u := range sel {
-			xs[i] = m.metric(u)
+		for i, j := range sel {
+			xs[i] = m.metric(&users[j])
 		}
 		d, err := exactDist(xs)
 		if err != nil {
@@ -242,7 +242,8 @@ func OverviewExact(users []dataset.User) (*StreamOverview, error) {
 		*m.dst = d
 	}
 	n := float64(len(sel))
-	for _, u := range sel {
+	for _, j := range sel {
+		u := &users[j]
 		if u.Capacity < 1e6 {
 			out.FracBelow1Mbps++
 		}

@@ -84,8 +84,9 @@ func (t *Table02) Render() string {
 
 // RunTable02 evaluates the capacity matching experiment for both panels.
 func RunTable02(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	dasu := dasuUsers(d, 0)
-	fcc := dataset.Select(d.Users, dataset.ByVantage(dataset.VantageGateway))
+	p := d.Panel()
+	dasu := dasuView(d, 0)
+	fcc := p.Where(dataset.ColVantage(dataset.VantageGateway))
 	t := &Table02{}
 	var err error
 	// The paper's Dasu rows span (0.1,0.2] → (51.2,102.4]; its FCC rows
@@ -140,15 +141,13 @@ func qualityOnlyMatcher() core.Matcher {
 }
 
 // capacityLadder runs the adjacent-class experiment for `steps` rungs
-// starting at class `first`.
-func capacityLadder(users []*dataset.User, first stats.CapacityClass, steps int, m core.Matcher, rng *randx.Source) ([]Table02Row, error) {
-	byClass := make(map[stats.CapacityClass][]*dataset.User)
-	for _, u := range users {
-		byClass[stats.ClassOf(u.Capacity)] = append(byClass[stats.ClassOf(u.Capacity)], u)
-	}
+// starting at class `first`. The matcher needs full user rows, so each
+// populated rung materializes its two classes from the columnar view.
+func capacityLadder(v dataset.View, first stats.CapacityClass, steps int, m core.Matcher, rng *randx.Source) ([]Table02Row, error) {
+	classes := byClass(v)
 	var rows []Table02Row
 	for k := first; k < first+stats.CapacityClass(steps); k++ {
-		control, treatment := byClass[k], byClass[k+1]
+		control, treatment := classes[k].Users(), classes[k+1].Users()
 		row := Table02Row{Control: k, Treatment: k + 1}
 		exp := core.Experiment{
 			Name:      fmt.Sprintf("%v vs %v", k, k+1),

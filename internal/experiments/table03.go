@@ -8,6 +8,7 @@ import (
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/market"
 	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
 )
 
 // Table03 reproduces Table 3: the price-of-access natural experiment.
@@ -54,10 +55,15 @@ func (t *Table03) Render() string {
 
 // RunTable03 evaluates the access-price experiment.
 func RunTable03(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
-	groups := map[market.AccessPriceGroup][]*dataset.User{}
-	for _, u := range users {
-		groups[market.GroupOfAccessPrice(u.AccessPrice)] = append(groups[market.GroupOfAccessPrice(u.AccessPrice)], u)
+	v := dasuView(d, 0)
+	p := v.P
+	groups := map[market.AccessPriceGroup]dataset.View{}
+	for _, i := range v.Idx {
+		g := market.GroupOfAccessPrice(unit.USD(p.AccessPrice[i]))
+		gv := groups[g]
+		gv.P = p
+		gv.Idx = append(gv.Idx, i)
+		groups[g] = gv
 	}
 	// Matching on capacity and connection quality isolates the price arrow.
 	m := core.Matcher{Confounders: []core.Confounder{
@@ -72,8 +78,8 @@ func RunTable03(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 	} {
 		exp := core.Experiment{
 			Name:      fmt.Sprintf("%v vs %v", cmp.control, cmp.treatment),
-			Treatment: groups[cmp.treatment],
-			Control:   groups[cmp.control],
+			Treatment: groups[cmp.treatment].Users(),
+			Control:   groups[cmp.control].Users(),
 			Matcher:   m,
 			Outcome:   dataset.PeakUsageNoBT,
 			MinPairs:  MinGroup,

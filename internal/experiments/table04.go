@@ -62,11 +62,11 @@ func RunTable04(d *dataset.Dataset, _ *randx.Source) (Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("table04: no market summary for %s", cc)
 		}
-		users := dataset.Select(d.Users, dataset.ByCountry(cc), dataset.ByVantage(dataset.VantageDasu))
-		if len(users) < 5 {
-			return nil, fmt.Errorf("table04: only %d users in %s", len(users), cc)
+		v := d.Panel().Where(dataset.ColCountry(cc), dataset.ColVantage(dataset.VantageDasu))
+		if v.Len() < 5 {
+			return nil, fmt.Errorf("table04: only %d users in %s", v.Len(), cc)
 		}
-		med, err := stats.Median(dataset.Capacities(users))
+		med, err := stats.Median(v.Gather(v.P.Capacity))
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +83,7 @@ func RunTable04(d *dataset.Dataset, _ *randx.Source) (Report, error) {
 		}
 		t.Rows = append(t.Rows, Table04Row{
 			Country:        ms.Country,
-			Users:          len(users),
+			Users:          v.Len(),
 			MedianCapacity: unit.Bitrate(med),
 			NearestTier:    tier.Down,
 			TierPrice:      tier.PriceUSD,

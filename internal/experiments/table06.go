@@ -9,6 +9,7 @@ import (
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/market"
 	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
 )
 
 // Table06 reproduces Table 6: the cost-of-increasing-capacity natural
@@ -67,11 +68,16 @@ func (t *Table06) Render() string {
 
 // RunTable06 evaluates the upgrade-cost experiment.
 func RunTable06(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
+	v := dasuView(d, 0)
+	p := v.P
+	groupIdx := map[market.UpgradeCostGroup][]int32{}
+	for _, i := range v.Idx {
+		g := market.GroupOfUpgradeCost(unit.PerMbps(p.UpgradeCost[i]))
+		groupIdx[g] = append(groupIdx[g], i)
+	}
 	groups := map[market.UpgradeCostGroup][]*dataset.User{}
-	for _, u := range users {
-		g := market.GroupOfUpgradeCost(u.UpgradeCost)
-		groups[g] = append(groups[g], u)
+	for g, idx := range groupIdx {
+		groups[g] = dataset.View{P: p, Idx: idx}.Users()
 	}
 	// Matching on capacity, quality and access price isolates the
 	// upgrade-cost arrow from the access-price one.

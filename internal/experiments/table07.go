@@ -69,19 +69,19 @@ func (t *Table07) Render() string {
 
 // RunTable07 evaluates the latency experiment.
 func RunTable07(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
+	v := dasuView(d, 0)
 	control := latencyBand{0.512, 2.048}
 	treatments := []latencyBand{
 		{0, 0.064}, {0.064, 0.128}, {0.128, 0.256}, {0.256, 0.512},
 	}
 	inBand := func(b latencyBand) []*dataset.User {
-		var out []*dataset.User
-		for _, u := range users {
-			if b.contains(u.RTT) {
-				out = append(out, u)
+		var idx []int32
+		for _, i := range v.Idx {
+			if b.contains(v.P.RTT[i]) {
+				idx = append(idx, i)
 			}
 		}
-		return out
+		return dataset.View{P: v.P, Idx: idx}.Users()
 	}
 	controlUsers := inBand(control)
 	// Matching on capacity, loss and both market price metrics isolates

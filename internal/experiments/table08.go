@@ -69,7 +69,7 @@ func (t *Table08) Render() string {
 
 // RunTable08 evaluates the loss experiment.
 func RunTable08(d *dataset.Dataset, rng *randx.Source) (Report, error) {
-	users := dasuUsers(d, 0)
+	v := dasuView(d, 0)
 	clean1 := lossBand{0, 0.0001}
 	clean2 := lossBand{0.0001, 0.001}
 	lossy1 := lossBand{0.001, 0.01}
@@ -81,13 +81,13 @@ func RunTable08(d *dataset.Dataset, rng *randx.Source) (Report, error) {
 		{lossy2, clean2},
 	}
 	inBand := func(b lossBand) []*dataset.User {
-		var out []*dataset.User
-		for _, u := range users {
-			if b.contains(float64(u.Loss)) {
-				out = append(out, u)
+		var idx []int32
+		for _, i := range v.Idx {
+			if b.contains(v.P.Loss[i]) {
+				idx = append(idx, i)
 			}
 		}
-		return out
+		return dataset.View{P: v.P, Idx: idx}.Users()
 	}
 	// Matching on capacity, latency and both market price metrics isolates
 	// loss from the market-development confounders it travels with.

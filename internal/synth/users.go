@@ -176,15 +176,22 @@ func (g *generator) populate() error {
 	if err != nil {
 		return err
 	}
+	// Merge sequentially into the columnar panel (dictionary interning is
+	// order-sensitive and single-threaded); the row-form Users the CSV
+	// contract requires are materialized from the columns, so both forms
+	// exist and agree by construction.
 	g.world.Skipped = make(map[string]int)
+	panel := dataset.NewPanel(lay.total)
 	for i := range results {
 		if results[i].user == nil {
 			g.world.Skipped[lay.find(i).prof.Country.Code]++
 			continue
 		}
-		g.world.Data.Users = append(g.world.Data.Users, *results[i].user)
+		panel.Append(results[i].user)
 		g.world.Truth[results[i].user.ID] = results[i].truth
 	}
+	g.world.Data.Users = panel.Users()
+	g.world.Data.AttachPanel(panel)
 	return nil
 }
 
