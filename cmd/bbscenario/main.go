@@ -1,0 +1,25 @@
+// Command bbscenario runs declarative counterfactual scenario packs
+// against the reproduction registry, opa-test-style: the baseline world
+// plus one delta world per pack at every seed, one PASS/FAIL line per
+// expectation, summary counts, exit 1 on any FAIL.
+//
+// Usage:
+//
+//	bbscenario -all                           # run testdata/scenarios/
+//	bbscenario -all -run 'cap-'               # filter packs by regexp
+//	bbscenario -all -json report.json         # machine-readable report
+//	bbscenario testdata/scenarios/cap-removal.json
+package main
+
+import (
+	"os"
+
+	"github.com/nwca/broadband/internal/cli"
+	"github.com/nwca/broadband/internal/scenario"
+)
+
+func main() {
+	ctx, stop := cli.Context()
+	defer stop()
+	os.Exit(scenario.Main(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,188 @@
+package golden
+
+import (
+	"strings"
+	"testing"
+)
+
+// tree builds a canonical value from any serializable object.
+func tree(t *testing.T, obj any) *Value {
+	t.Helper()
+	v, err := ToValue(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+type diffFixture struct {
+	Median float64
+	Rows   []diffRow
+}
+
+type diffRow struct {
+	Y float64
+}
+
+func rows(ys ...float64) []diffRow {
+	out := make([]diffRow, len(ys))
+	for i, y := range ys {
+		out[i] = diffRow{Y: y}
+	}
+	return out
+}
+
+func TestEvalDiffCheck(t *testing.T) {
+	base := tree(t, diffFixture{Median: 10, Rows: rows(1, 2, 3)})
+	cases := []struct {
+		name    string
+		got     diffFixture
+		check   Check
+		wantMsg string // substring of the failure, "" = pass
+	}{
+		{
+			name:  "increases passes on a strict move",
+			got:   diffFixture{Median: 12, Rows: rows(1, 2, 3)},
+			check: Check{Path: "Median", Op: "increases"},
+		},
+		{
+			name:    "increases fails on no move",
+			got:     diffFixture{Median: 10, Rows: rows(1, 2, 3)},
+			check:   Check{Path: "Median", Op: "increases"},
+			wantMsg: "does not increase",
+		},
+		{
+			name:    "increases fails on a move inside the band",
+			got:     diffFixture{Median: 10.5, Rows: rows(1, 2, 3)},
+			check:   Check{Path: "Median", Op: "increases", RelTol: 0.1},
+			wantMsg: "does not increase",
+		},
+		{
+			name:  "increases clears an absolute band",
+			got:   diffFixture{Median: 12, Rows: rows(1, 2, 3)},
+			check: Check{Path: "Median", Op: "increases", AbsTol: 1},
+		},
+		{
+			name:    "min_rel demands a material move",
+			got:     diffFixture{Median: 10.2, Rows: rows(1, 2, 3)},
+			check:   Check{Path: "Median", Op: "increases", MinRel: 0.1},
+			wantMsg: "below min_rel",
+		},
+		{
+			name:    "max_rel caps the move (sublinearity)",
+			got:     diffFixture{Median: 25, Rows: rows(1, 2, 3)},
+			check:   Check{Path: "Median", Op: "increases", MaxRel: 0.5},
+			wantMsg: "above max_rel",
+		},
+		{
+			name:  "decreases passes",
+			got:   diffFixture{Median: 8, Rows: rows(1, 2, 3)},
+			check: Check{Path: "Median", Op: "decreases", MinRel: 0.1},
+		},
+		{
+			name:    "decreases rejects an increase",
+			got:     diffFixture{Median: 12, Rows: rows(1, 2, 3)},
+			check:   Check{Path: "Median", Op: "decreases"},
+			wantMsg: "does not decrease",
+		},
+		{
+			name:  "unchanged is exact with no tolerances",
+			got:   diffFixture{Median: 10, Rows: rows(1, 2, 3)},
+			check: Check{Path: "Median", Op: "unchanged"},
+		},
+		{
+			name:    "unchanged rejects any drift without tolerances",
+			got:     diffFixture{Median: 10 + 1e-12, Rows: rows(1, 2, 3)},
+			check:   Check{Path: "Median", Op: "unchanged"},
+			wantMsg: "not unchanged",
+		},
+		{
+			name:  "unchanged honors the band",
+			got:   diffFixture{Median: 10.4, Rows: rows(1, 2, 3)},
+			check: Check{Path: "Median", Op: "unchanged", RelTol: 0.05},
+		},
+		{
+			name:  "mean aggregate over a glob selection",
+			got:   diffFixture{Median: 10, Rows: rows(2, 3, 4)},
+			check: Check{Path: "Rows/*/Y", Op: "increases", Agg: "mean"},
+		},
+		{
+			name:  "mean aggregate tolerates differing selection sizes",
+			got:   diffFixture{Median: 10, Rows: rows(5, 6)},
+			check: Check{Path: "Rows/*/Y", Op: "increases"},
+		},
+		{
+			name:  "count aggregate sees population growth",
+			got:   diffFixture{Median: 10, Rows: rows(1, 2, 3, 4)},
+			check: Check{Path: "Rows/*/Y", Op: "increases", Agg: "count"},
+		},
+		{
+			name:  "median aggregate",
+			got:   diffFixture{Median: 10, Rows: rows(1, 9, 3)},
+			check: Check{Path: "Rows/*/Y", Op: "increases", Agg: "median"},
+		},
+		{
+			name:  "sum aggregate",
+			got:   diffFixture{Median: 10, Rows: rows(1, 2, 2)},
+			check: Check{Path: "Rows/*/Y", Op: "decreases", Agg: "sum"},
+		},
+		{
+			name:  "max aggregate",
+			got:   diffFixture{Median: 10, Rows: rows(0, 0, 5)},
+			check: Check{Path: "Rows/*/Y", Op: "increases", Agg: "max"},
+		},
+		{
+			name:  "min aggregate",
+			got:   diffFixture{Median: 10, Rows: rows(0.5, 2, 3)},
+			check: Check{Path: "Rows/*/Y", Op: "decreases", Agg: "min"},
+		},
+		{
+			name:    "stale path fails on the scenario side",
+			got:     diffFixture{Median: 10, Rows: rows(1, 2, 3)},
+			check:   Check{Path: "Rows/*/Y", Op: "unchanged", MinCount: 4},
+			wantMsg: "baseline: selected 3 values",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.check.validate(); err != nil {
+				t.Fatalf("check does not validate: %v", err)
+			}
+			msg := EvalDiffCheck(base, tree(t, tc.got), tc.check)
+			if tc.wantMsg == "" && msg != "" {
+				t.Fatalf("want pass, got %q", msg)
+			}
+			if tc.wantMsg != "" && !strings.Contains(msg, tc.wantMsg) {
+				t.Fatalf("want failure containing %q, got %q", tc.wantMsg, msg)
+			}
+		})
+	}
+}
+
+func TestDiffCheckValidation(t *testing.T) {
+	bad := []Check{
+		{Path: "X", Op: "increases", Agg: "p99"},
+		{Path: "X", Op: "range", Min: f(0), Agg: "mean"},
+		{Path: "X", Op: "increases", AbsTol: -1},
+		{Path: "X", Op: "unchanged", MinRel: 0.1},
+		{Path: "X", Op: "increases", MinRel: 0.5, MaxRel: 0.1},
+	}
+	for i, c := range bad {
+		if err := c.validate(); err == nil {
+			t.Errorf("case %d: check %+v validated, want error", i, c)
+		}
+	}
+	if err := (Check{Path: "X", Op: "unchanged"}).validate(); err != nil {
+		t.Errorf("bare unchanged should validate: %v", err)
+	}
+}
+
+func TestEvalChecksRejectsDifferentialOps(t *testing.T) {
+	v := tree(t, diffFixture{Median: 1})
+	out := EvalChecks(v, []Check{{Name: "d", Path: "Median", Op: "increases"}}, false)
+	if len(out) != 1 || !strings.Contains(out[0].Msg, "baseline") {
+		t.Fatalf("want a needs-a-baseline violation, got %v", out)
+	}
+}
+
+func f(x float64) *float64 { return &x }

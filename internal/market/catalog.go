@@ -75,8 +75,45 @@ func BuildCatalog(p Profile, rng *randx.Source) Catalog {
 			})
 		}
 	}
+	applyPolicy(p, &cat)
 	cat.SortByPrice()
 	return cat
+}
+
+// applyPolicy rewrites the drawn catalog under the profile's counterfactual
+// policy levers. It runs after every random draw and before the price sort,
+// so a lever shifts exactly the plans it targets: the RNG stream — and with
+// it every untargeted plan — is byte-identical to the unregulated catalog.
+// Dedicated-line outliers are exempt from retail price regulation (they are
+// leased-line products, not consumer tiers) but still follow PriceScale.
+func applyPolicy(p Profile, cat *Catalog) {
+	if !p.HasPolicy() {
+		return
+	}
+	for i := range cat.Plans {
+		plan := &cat.Plans[i]
+		if p.PriceScale > 0 {
+			plan.PriceUSD *= unit.USD(p.PriceScale)
+		}
+		if p.TierPriceCapUSD > 0 && !plan.Dedicated &&
+			plan.PriceUSD > unit.USD(p.TierPriceCapUSD) {
+			plan.PriceUSD = unit.USD(p.TierPriceCapUSD)
+		}
+		if plan.PriceUSD < 1 {
+			plan.PriceUSD = 1
+		}
+		plan.PriceLocal = float64(plan.PriceUSD) * p.Country.PPPFactor
+		switch {
+		case p.UncapAll:
+			plan.Cap = 0
+		case p.CapScale > 0 && plan.Cap > 0:
+			plan.Cap = unit.ByteSize(float64(plan.Cap) * p.CapScale)
+		}
+		if p.FiberAboveMbps > 0 && !plan.Dedicated &&
+			plan.Down.Mbps() >= p.FiberAboveMbps {
+			plan.Tech = Fiber
+		}
+	}
 }
 
 // tierPriceUSD evaluates the market price line at a capacity (Mbps):

@@ -1,0 +1,282 @@
+package market
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/unit"
+)
+
+// planKey identifies a plan independent of the price sort, which policy
+// transforms may reorder.
+type planKey struct {
+	ISP  string
+	Down unit.Bitrate
+	Dedi bool
+}
+
+func byKey(t *testing.T, c Catalog) map[planKey]Plan {
+	t.Helper()
+	out := make(map[planKey]Plan, len(c.Plans))
+	for _, p := range c.Plans {
+		k := planKey{p.ISP, p.Down, p.Dedicated}
+		if _, dup := out[k]; dup {
+			t.Fatalf("duplicate plan key %+v", k)
+		}
+		out[k] = p
+	}
+	return out
+}
+
+func TestBuildAllCatalogsSeedDeterminism(t *testing.T) {
+	profiles := World()
+	a := BuildAllCatalogs(profiles, randx.New(42))
+	b := BuildAllCatalogs(profiles, randx.New(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different catalogs")
+	}
+	c := BuildAllCatalogs(profiles, randx.New(43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical catalogs")
+	}
+	// Per-country streams are split off the parent by code, so the world
+	// map and a solo build agree plan for plan.
+	de := BuildCatalog(profileFor(t, "DE"), randx.New(42).Split("catalog-DE"))
+	if !reflect.DeepEqual(a["DE"], de) {
+		t.Fatal("BuildAllCatalogs and solo BuildCatalog disagree for DE")
+	}
+}
+
+func TestTierPriceUSDEdges(t *testing.T) {
+	p := Profile{AccessPriceUSD: 30, UpgradeCostPerMbps: 2}
+	cases := []struct {
+		tier, want float64
+	}{
+		{1, 30},           // access price anchors 1 Mbps
+		{11, 30 + 2*10},   // linear slope above the anchor
+		{0.5, 30 * 0.775}, // sub-Mbps discount: 0.55 + 0.45*0.5
+		{0.25, 30 * 0.6625},
+	}
+	for _, c := range cases {
+		if got := tierPriceUSD(p, c.tier); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("tierPriceUSD(%.2f) = %.4f, want %.4f", c.tier, got, c.want)
+		}
+	}
+}
+
+func TestCapForBounds(t *testing.T) {
+	rng := randx.New(9)
+	for _, tier := range []float64{0.5, 1, 8, 100, 1000} {
+		for i := 0; i < 200; i++ {
+			cap := capFor(tier, rng)
+			gb := float64(cap) / float64(unit.GB)
+			lo, hi := 20+tier*12*0.5, 20+tier*12*1.5
+			if hi > 600 {
+				hi = 600
+			}
+			if lo > 600 {
+				lo = 600
+			}
+			if gb < lo-1 || gb > hi+1 {
+				t.Fatalf("capFor(%v) = %.1f GB outside [%.1f, %.1f]", tier, gb, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTechForEdges(t *testing.T) {
+	rng := randx.New(11)
+	allowed := map[float64]map[Technology]bool{
+		0.5: {DSL: true, FixedWireless: true},
+		10:  {DSL: true, Cable: true},
+		40:  {Cable: true, Fiber: true},
+		100: {Fiber: true},
+		500: {Fiber: true},
+	}
+	for tier, ok := range allowed {
+		for i := 0; i < 200; i++ {
+			if tech := techFor(tier, rng); !ok[tech] {
+				t.Fatalf("techFor(%v) = %v not in allowed set %v", tier, tech, ok)
+			}
+		}
+	}
+}
+
+// The policy levers must not perturb the RNG stream: a regulated catalog at
+// the same seed differs from the unregulated one only on the plans the
+// lever targets.
+func TestPolicyLeversAreRNGNeutral(t *testing.T) {
+	base := byKey(t, BuildCatalog(profileFor(t, "NZ"), randx.New(3).Split("x")))
+
+	t.Run("price cap touches only expensive plans", func(t *testing.T) {
+		p := profileFor(t, "NZ")
+		p.TierPriceCapUSD = 60
+		got := byKey(t, BuildCatalog(p, randx.New(3).Split("x")))
+		if len(got) != len(base) {
+			t.Fatalf("plan count changed: %d vs %d", len(got), len(base))
+		}
+		capped := 0
+		for k, g := range got {
+			b := base[k]
+			if b.PriceUSD > 60 {
+				capped++
+				if g.PriceUSD != 60 {
+					t.Fatalf("plan %+v not clamped: %v", k, g.PriceUSD)
+				}
+				if math.Abs(g.PriceLocal-60*p.Country.PPPFactor) > 1e-9 {
+					t.Fatalf("PriceLocal not retied to PPP: %v", g.PriceLocal)
+				}
+				// Everything but price is untouched.
+				g.PriceUSD, g.PriceLocal = b.PriceUSD, b.PriceLocal
+			}
+			if g != b {
+				t.Fatalf("untargeted field drifted on %+v:\n got %+v\nbase %+v", k, g, b)
+			}
+		}
+		if capped == 0 {
+			t.Fatal("cap of $60 touched no NZ plan; test is vacuous")
+		}
+	})
+
+	t.Run("uncap clears caps and nothing else", func(t *testing.T) {
+		p := profileFor(t, "NZ")
+		p.UncapAll = true
+		got := byKey(t, BuildCatalog(p, randx.New(3).Split("x")))
+		had := 0
+		for k, g := range got {
+			b := base[k]
+			if g.Cap != 0 {
+				t.Fatalf("plan %+v still capped: %v", k, g.Cap)
+			}
+			if b.Cap != 0 {
+				had++
+			}
+			g.Cap = b.Cap
+			if g != b {
+				t.Fatalf("uncap drifted a non-cap field on %+v", k)
+			}
+		}
+		if had == 0 {
+			t.Fatal("baseline NZ catalog had no capped plan; test is vacuous")
+		}
+	})
+
+	t.Run("cap scale doubles existing caps only", func(t *testing.T) {
+		p := profileFor(t, "NZ")
+		p.CapScale = 2
+		got := byKey(t, BuildCatalog(p, randx.New(3).Split("x")))
+		for k, g := range got {
+			b := base[k]
+			if b.Cap == 0 && g.Cap != 0 {
+				t.Fatalf("cap appeared from nothing on %+v", k)
+			}
+			if b.Cap != 0 && g.Cap != unit.ByteSize(2*float64(b.Cap)) {
+				t.Fatalf("cap not doubled on %+v: %v vs %v", k, g.Cap, b.Cap)
+			}
+		}
+	})
+
+	t.Run("price scale rescales every shared plan", func(t *testing.T) {
+		p := profileFor(t, "NZ")
+		p.PriceScale = 0.5
+		got := byKey(t, BuildCatalog(p, randx.New(3).Split("x")))
+		for k, g := range got {
+			b := base[k]
+			want := unit.USD(math.Max(float64(b.PriceUSD)*0.5, 1))
+			if math.Abs(float64(g.PriceUSD-want)) > 1e-9 {
+				t.Fatalf("plan %+v price %v, want %v", k, g.PriceUSD, want)
+			}
+		}
+	})
+
+	t.Run("fiberize flips only fast tiers", func(t *testing.T) {
+		p := profileFor(t, "NZ")
+		p.FiberAboveMbps = 10
+		got := byKey(t, BuildCatalog(p, randx.New(3).Split("x")))
+		flipped := 0
+		for k, g := range got {
+			b := base[k]
+			switch {
+			case b.Down.Mbps() >= 10 && !b.Dedicated:
+				if g.Tech != Fiber {
+					t.Fatalf("fast plan %+v not fiberized: %v", k, g.Tech)
+				}
+				if b.Tech != Fiber {
+					flipped++
+				}
+			default:
+				if g.Tech != b.Tech {
+					t.Fatalf("slow/dedicated plan %+v changed tech", k)
+				}
+			}
+		}
+		if flipped == 0 {
+			t.Fatal("fiberize flipped nothing; test is vacuous")
+		}
+	})
+}
+
+func TestPriceCapExemptsDedicatedLines(t *testing.T) {
+	p := profileFor(t, "AF") // Afghanistan sells dedicated-line outliers
+	if !p.DedicatedPlans {
+		t.Fatal("expected AF to market dedicated plans")
+	}
+	p.TierPriceCapUSD = 50
+	cat := BuildCatalog(p, randx.New(5).Split("x"))
+	sawDedicated := false
+	for _, plan := range cat.Plans {
+		if plan.Dedicated {
+			sawDedicated = true
+			if plan.PriceUSD <= 50 {
+				t.Fatalf("dedicated outlier was capped: %v", plan)
+			}
+		} else if plan.PriceUSD > 50 {
+			t.Fatalf("shared plan escaped the cap: %v", plan)
+		}
+	}
+	if !sawDedicated {
+		t.Fatal("no dedicated plan generated")
+	}
+}
+
+// Scalar profile overrides (the scenario-delta path) shift prices without
+// perturbing the draw sequence: same plan count, same caps, same techs.
+func TestProfileOverrideKeepsDrawSequence(t *testing.T) {
+	base := byKey(t, BuildCatalog(profileFor(t, "BW"), randx.New(8).Split("x")))
+	p := profileFor(t, "BW")
+	p.AccessPriceUSD *= 0.6
+	p.UpgradeCostPerMbps *= 0.6
+	got := byKey(t, BuildCatalog(p, randx.New(8).Split("x")))
+	if len(got) != len(base) {
+		t.Fatalf("plan count changed: %d vs %d", len(got), len(base))
+	}
+	cheaper := 0
+	for k, g := range got {
+		b := base[k]
+		if g.Cap != b.Cap || g.Tech != b.Tech || g.Up != b.Up {
+			t.Fatalf("non-price field drifted on %+v", k)
+		}
+		if g.PriceUSD < b.PriceUSD {
+			cheaper++
+		}
+	}
+	if cheaper == 0 {
+		t.Fatal("price override moved no price")
+	}
+}
+
+func TestHasPolicy(t *testing.T) {
+	if (Profile{}).HasPolicy() {
+		t.Fatal("zero profile reports a policy")
+	}
+	for _, p := range []Profile{
+		{PriceScale: 0.5}, {TierPriceCapUSD: 10}, {CapScale: 2},
+		{UncapAll: true}, {FiberAboveMbps: 4},
+	} {
+		if !p.HasPolicy() {
+			t.Fatalf("%+v should report a policy", p)
+		}
+	}
+}

@@ -40,6 +40,24 @@ type Profile struct {
 	NeedMedianMbps float64 // median latent demand scale of subscribers
 	NeedSigma      float64 // lognormal sigma of the need distribution
 	BTShare        float64 // fraction of (Dasu) users active on BitTorrent
+
+	// Counterfactual policy levers (scenario packs). Zero values mean "no
+	// policy". BuildCatalog applies them AFTER every random draw, so a
+	// lever never perturbs the RNG stream: plans it does not touch stay
+	// byte-identical to the unregulated catalog at the same seed — which is
+	// what lets scenario expectations assert exact `unchanged` on
+	// untargeted cohorts.
+	PriceScale      float64 // multiply shared-ladder prices (e.g. 0.7 = 30% subsidy)
+	TierPriceCapUSD float64 // clamp shared-ladder monthly PriceUSD to this ceiling
+	CapScale        float64 // multiply every monthly traffic cap (e.g. 2 = doubled caps)
+	UncapAll        bool    // remove all monthly traffic caps
+	FiberAboveMbps  float64 // force Tech=Fiber on tiers at/above this downlink
+}
+
+// HasPolicy reports whether any counterfactual policy lever is set.
+func (p Profile) HasPolicy() bool {
+	return p.PriceScale != 0 || p.TierPriceCapUSD != 0 || p.CapScale != 0 ||
+		p.UncapAll || p.FiberAboveMbps != 0
 }
 
 // World returns the built-in market profiles, one per country. The slice is

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/synth"
+)
+
+// Apply transforms the baseline world config into the pack's counterfactual
+// config. The baseline is not mutated: profiles are deep-copied before any
+// market delta touches them. When the baseline carries no explicit profile
+// set, the built-in market world is the starting point — the same profiles
+// the baseline build will default to, so baseline and scenario differ by
+// exactly the declared deltas.
+func (p *Pack) Apply(base synth.Config) (synth.Config, error) {
+	cfg := base
+	if d := p.Deltas.Config; d != nil {
+		if d.YearGrowth != nil {
+			cfg.YearGrowth = *d.YearGrowth
+		}
+		if d.NeedGrowth != nil {
+			cfg.NeedGrowth = *d.NeedGrowth
+		}
+		if d.Years != nil {
+			cfg.Years = append([]int(nil), d.Years...)
+		}
+		if d.DisableQoE != nil {
+			cfg.DisableQoE = *d.DisableQoE
+		}
+	}
+	if len(p.Deltas.Markets) == 0 {
+		return cfg, nil
+	}
+
+	src := base.Profiles
+	if src == nil {
+		src = market.World()
+	}
+	profiles := make([]market.Profile, len(src))
+	copy(profiles, src)
+	index := make(map[string]int, len(profiles))
+	for i, prof := range profiles {
+		index[prof.Country.Code] = i
+	}
+	for di, d := range p.Deltas.Markets {
+		targets := d.Countries
+		if len(targets) == 0 {
+			targets = make([]string, 0, len(profiles))
+			for _, prof := range profiles {
+				targets = append(targets, prof.Country.Code)
+			}
+		}
+		for _, code := range targets {
+			i, ok := index[code]
+			if !ok {
+				return synth.Config{}, fmt.Errorf(
+					"scenario: pack %s: market delta %d targets unknown country %q", p.Name, di, code)
+			}
+			applyMarketDelta(&profiles[i], d)
+		}
+	}
+	cfg.Profiles = profiles
+	return cfg, nil
+}
+
+func applyMarketDelta(prof *market.Profile, d MarketDelta) {
+	if d.AccessPriceScale > 0 {
+		prof.AccessPriceUSD *= d.AccessPriceScale
+	}
+	if d.UpgradeCostScale > 0 {
+		prof.UpgradeCostPerMbps *= d.UpgradeCostScale
+	}
+	if d.SatelliteShareScale > 0 {
+		prof.SatelliteShare *= d.SatelliteShareScale
+	}
+	if d.PriceScale > 0 {
+		prof.PriceScale = d.PriceScale
+	}
+	if d.TierPriceCapUSD > 0 {
+		prof.TierPriceCapUSD = d.TierPriceCapUSD
+	}
+	if d.CapScale > 0 {
+		prof.CapScale = d.CapScale
+	}
+	if d.UncapAll {
+		prof.UncapAll = true
+	}
+	if d.FiberAboveMbps > 0 {
+		prof.FiberAboveMbps = d.FiberAboveMbps
+	}
+}

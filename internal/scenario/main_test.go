@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMain(t *testing.T, ctx context.Context, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = Main(ctx, args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestMainUsageErrors(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"no input", nil, "nothing to run"},
+		{"all plus files", []string{"-all", "x.json"}, "mutually exclusive"},
+		{"missing file", []string{"no-such-pack.json"}, "no such file"},
+		{"bad run pattern", []string{"-run", "(", "-all", "-dir", "../../testdata/scenarios"}, "bad -run pattern"},
+		{"run matches nothing", []string{"-all", "-dir", "../../testdata/scenarios", "-run", "zzz"}, "no pack matches"},
+		{"bad seeds", []string{"-seeds", "x", "testdata/failing.json"}, "bad seed"},
+		{"bad flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runMain(t, ctx, tc.args...)
+			if code != ExitErr {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitErr, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not contain %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+func TestMainInterruptedExits130(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, stderr := runMain(t, ctx, "-seeds", "7", "testdata/failing.json")
+	if code != ExitSignal {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitSignal, stderr)
+	}
+	if !strings.Contains(stderr, "interrupted") {
+		t.Fatalf("stderr %q does not say interrupted", stderr)
+	}
+}
+
+// The failing fixture proves FAIL reporting end to end: the run exits 1,
+// renders both verdicts, and the -json report matches the committed schema
+// golden byte for byte (the report carries no timings or host data, so it
+// is reproducible anywhere). Regenerate with:
+//
+//	go run ./cmd/bbscenario -seeds 7 -json internal/scenario/testdata/failing-report.golden.json internal/scenario/testdata/failing.json
+func TestMainFailingFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two worlds")
+	}
+	jsonOut := filepath.Join(t.TempDir(), "report.json")
+	code, stdout, stderr := runMain(t, context.Background(),
+		"-seeds", "7", "-json", jsonOut, "testdata/failing.json")
+	if code != ExitFail {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFail, stderr)
+	}
+	for _, want := range []string{
+		"failing/fig01/expected-to-fail @ seed 7: FAIL",
+		"does not increase",
+		"failing/fig01/expected-to-pass @ seed 7: PASS",
+		"PASS: 1/2",
+		"FAIL: 1/2",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	got, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/failing-report.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-json report drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// A passing pack exits 0 and renders only PASS verdicts; -run filters the
+// catalog down to the named pack.
+func TestMainPassAndRunFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two worlds")
+	}
+	code, stdout, stderr := runMain(t, context.Background(),
+		"-all", "-dir", "../../testdata/scenarios", "-run", "^need-flat$", "-seeds", "7")
+	if code != ExitOK {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if strings.Contains(stdout, "FAIL") {
+		t.Fatalf("unexpected FAIL in:\n%s", stdout)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if strings.Contains(line, "@ seed") && !strings.HasPrefix(line, "need-flat/") {
+			t.Fatalf("-run let a foreign pack through: %q", line)
+		}
+	}
+}

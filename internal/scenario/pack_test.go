@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nwca/broadband/internal/market"
+	"github.com/nwca/broadband/internal/synth"
+)
+
+const minimalExpect = `"expect": [
+  {"artifact": "Fig. 1", "checks": [
+    {"name": "c", "path": "Capacity/Median", "op": "unchanged"}
+  ]}
+]`
+
+func TestParsePackValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string // substring; "" = valid
+	}{
+		{
+			name: "minimal valid pack",
+			doc:  `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]}, ` + minimalExpect + `}`,
+		},
+		{
+			name:    "bad name",
+			doc:     `{"name": "Not Valid!", "deltas": {"markets": [{"cap_scale": 2}]}, ` + minimalExpect + `}`,
+			wantErr: "must match",
+		},
+		{
+			name:    "no deltas",
+			doc:     `{"name": "ok", "deltas": {}, ` + minimalExpect + `}`,
+			wantErr: "no deltas",
+		},
+		{
+			name:    "empty market delta",
+			doc:     `{"name": "ok", "deltas": {"markets": [{"countries": ["US"]}]}, ` + minimalExpect + `}`,
+			wantErr: "changes nothing",
+		},
+		{
+			name:    "negative lever",
+			doc:     `{"name": "ok", "deltas": {"markets": [{"cap_scale": -2}]}, ` + minimalExpect + `}`,
+			wantErr: "negative cap_scale",
+		},
+		{
+			name:    "no expectations",
+			doc:     `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]}, "expect": []}`,
+			wantErr: "no expectations",
+		},
+		{
+			name: "unknown artifact",
+			doc: `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]},
+				"expect": [{"artifact": "Fig. 99", "checks": [{"name": "c", "path": "X", "op": "unchanged"}]}]}`,
+			wantErr: `unknown artifact "Fig. 99"`,
+		},
+		{
+			name: "extension artifact resolves",
+			doc: `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]},
+				"expect": [{"artifact": "Ext. A", "checks": [{"name": "c", "path": "CappedShare", "op": "unchanged"}]}]}`,
+		},
+		{
+			name: "unnamed check",
+			doc: `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]},
+				"expect": [{"artifact": "Fig. 1", "checks": [{"path": "X", "op": "unchanged"}]}]}`,
+			wantErr: "unnamed check",
+		},
+		{
+			name: "duplicate check name",
+			doc: `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]},
+				"expect": [{"artifact": "Fig. 1", "checks": [
+					{"name": "c", "path": "X", "op": "unchanged"},
+					{"name": "c", "path": "Y", "op": "unchanged"}]}]}`,
+			wantErr: "duplicate check",
+		},
+		{
+			name: "malformed check rejected by golden",
+			doc: `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]},
+				"expect": [{"artifact": "Fig. 1", "checks": [{"name": "c", "path": "X", "op": "sideways"}]}]}`,
+			wantErr: "unknown op",
+		},
+		{
+			name:    "unknown field rejected",
+			doc:     `{"name": "ok", "deltas": {"bogus": 1, "markets": [{"cap_scale": 2}]}, ` + minimalExpect + `}`,
+			wantErr: "unknown field",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePack([]byte(tc.doc))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestLoadPackNameMustMatchStem(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "other.json")
+	doc := `{"name": "ok", "deltas": {"markets": [{"cap_scale": 2}]}, ` + minimalExpect + `}`
+	if err := os.WriteFile(file, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPack(file); err == nil || !strings.Contains(err.Error(), "filename stem") {
+		t.Fatalf("want stem mismatch error, got %v", err)
+	}
+}
+
+// The committed catalog must load, carry at least 8 packs, and cover every
+// delta family the acceptance criteria name.
+func TestCommittedCatalogCoversDeltaFamilies(t *testing.T) {
+	packs, err := LoadDir("../../testdata/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packs) < 8 {
+		t.Fatalf("catalog has %d packs, want >= 8", len(packs))
+	}
+	families := map[string]bool{}
+	for _, p := range packs {
+		if c := p.Deltas.Config; c != nil {
+			if c.NeedGrowth != nil || c.YearGrowth != nil {
+				families["need-growth"] = true
+			}
+			if c.DisableQoE != nil && *c.DisableQoE {
+				families["qoe"] = true
+			}
+		}
+		for _, m := range p.Deltas.Markets {
+			if m.PriceScale != 0 || m.TierPriceCapUSD != 0 || m.AccessPriceScale > 1 {
+				families["price"] = true
+			}
+			if (m.AccessPriceScale > 0 && m.AccessPriceScale < 1) ||
+				(m.UpgradeCostScale > 0 && m.UpgradeCostScale < 1) {
+				families["subsidy"] = true
+			}
+			if m.CapScale != 0 || m.UncapAll {
+				families["cap-policy"] = true
+			}
+			if m.FiberAboveMbps != 0 || m.SatelliteShareScale != 0 {
+				families["tech-mix"] = true
+			}
+		}
+	}
+	for _, f := range []string{"price", "subsidy", "cap-policy", "tech-mix", "need-growth", "qoe"} {
+		if !families[f] {
+			t.Errorf("no committed pack exercises the %s delta family", f)
+		}
+	}
+}
+
+func TestApplyDeltas(t *testing.T) {
+	ng := 1.5
+	dq := true
+	p := &Pack{
+		Name: "t",
+		Deltas: Deltas{
+			Config: &ConfigDelta{NeedGrowth: &ng, DisableQoE: &dq},
+			Markets: []MarketDelta{
+				{Countries: []string{"BW"}, TierPriceCapUSD: 60, AccessPriceScale: 0.5},
+				{CapScale: 2}, // all countries
+			},
+		},
+	}
+	base := synth.Config{Users: 100}
+	cfg, err := p.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NeedGrowth != 1.5 || !cfg.DisableQoE {
+		t.Fatalf("config deltas not applied: %+v", cfg)
+	}
+	if base.Profiles != nil {
+		t.Fatal("base config mutated")
+	}
+	var bw, us market.Profile
+	for _, prof := range cfg.Profiles {
+		switch prof.Country.Code {
+		case "BW":
+			bw = prof
+		case "US":
+			us = prof
+		}
+	}
+	want, _ := market.FindProfile("BW")
+	if bw.TierPriceCapUSD != 60 || bw.AccessPriceUSD != want.AccessPriceUSD*0.5 {
+		t.Fatalf("BW delta not applied: %+v", bw)
+	}
+	if bw.CapScale != 2 || us.CapScale != 2 {
+		t.Fatal("all-countries delta not applied to both BW and US")
+	}
+	if us.TierPriceCapUSD != 0 {
+		t.Fatal("country-scoped delta leaked to US")
+	}
+
+	bad := &Pack{Name: "t", Deltas: Deltas{Markets: []MarketDelta{
+		{Countries: []string{"XX"}, CapScale: 2},
+	}}}
+	if _, err := bad.Apply(base); err == nil || !strings.Contains(err.Error(), "unknown country") {
+		t.Fatalf("want unknown-country error, got %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes the opa-test-style text report: one PASS/FAIL line per
+// assertion in deterministic order, failure details indented under the
+// line, and the summary counts last.
+func (r *Report) Render(w io.Writer) {
+	for _, p := range r.Packs {
+		for _, o := range p.Outcomes {
+			verdict := "PASS"
+			if !o.Pass {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(w, "%s @ seed %d: %s\n", o.Name(p.Name), o.Seed, verdict)
+			if o.Msg != "" {
+				fmt.Fprintf(w, "  %s\n", o.Msg)
+			}
+		}
+	}
+	total := r.Passed + r.Failed
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	fmt.Fprintf(w, "PASS: %d/%d\n", r.Passed, total)
+	if r.Failed > 0 {
+		fmt.Fprintf(w, "FAIL: %d/%d\n", r.Failed, total)
+	}
+}

@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Scenario deltas can now push arbitrary values into Config, so defaulting
+// alone is not enough: negative counts, non-positive growth factors, and an
+// explicitly empty cohort list must be rejected with typed errors rather
+// than silently repaired into a world the scenario did not ask for.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       Config
+		wantField string // "" = config must build
+	}{
+		{name: "zero config defaults cleanly", cfg: Config{}},
+		{name: "negative users", cfg: Config{Users: -1}, wantField: "Users"},
+		{name: "negative fcc users", cfg: Config{FCCUsers: -5}, wantField: "FCCUsers"},
+		{name: "explicit empty years", cfg: Config{Years: []int{}}, wantField: "Years"},
+		{name: "negative year growth", cfg: Config{YearGrowth: -0.5}, wantField: "YearGrowth"},
+		{name: "negative need growth", cfg: Config{NeedGrowth: -1}, wantField: "NeedGrowth"},
+		{name: "flat need growth is now legal", cfg: Config{NeedGrowth: 1.0}},
+		{name: "sub-unit year growth is now legal", cfg: Config{YearGrowth: 0.9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.withDefaults().validate()
+			if tc.wantField == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("want error, config validated")
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error %v is not ErrInvalidConfig", err)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *ConfigError", err)
+			}
+			if ce.Field != tc.wantField {
+				t.Fatalf("error names field %q, want %q", ce.Field, tc.wantField)
+			}
+			if !strings.Contains(err.Error(), tc.wantField) {
+				t.Fatalf("message %q does not name the field", err.Error())
+			}
+		})
+	}
+}
+
+// Build surfaces validation errors — the rejection reaches callers, not
+// just the internal validate method.
+func TestBuildRejectsInvalidConfig(t *testing.T) {
+	_, err := Build(Config{Seed: 1, Users: -10})
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Build(-10 users) = %v, want ErrInvalidConfig", err)
+	}
+	_, err = Build(Config{Seed: 1, Years: []int{}})
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Build(empty years) = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// Zero growth factors still mean "use the default", preserving the seed
+// tree's zero-value ergonomics.
+func TestZeroGrowthStillDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.YearGrowth != 1.35 || c.NeedGrowth != 1.12 {
+		t.Fatalf("zero growth fields defaulted to %v/%v", c.YearGrowth, c.NeedGrowth)
+	}
+	if len(c.Years) != 3 || c.Users != 2000 || c.FCCUsers != 500 {
+		t.Fatalf("defaults drifted: %+v", c)
+	}
+}

@@ -8,6 +8,7 @@ package synth
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -73,23 +74,29 @@ type Config struct {
 	Workers int
 }
 
+// withDefaults fills unset (zero) fields. It deliberately defaults only on
+// the zero value — a negative count or growth factor is left in place for
+// validate to reject, and a non-nil empty Years slice is an error, not a
+// request for the default cohort set. Scenario deltas may legitimately set
+// growth factors in (0, 1] (a flat- or shrinking-demand regime), so those
+// are no longer clamped to the defaults.
 func (c Config) withDefaults() Config {
-	if c.Users <= 0 {
+	if c.Users == 0 {
 		c.Users = 2000
 	}
-	if c.FCCUsers <= 0 {
+	if c.FCCUsers == 0 {
 		c.FCCUsers = c.Users / 4
 	}
 	if c.Days <= 0 {
 		c.Days = 3
 	}
-	if len(c.Years) == 0 {
+	if c.Years == nil {
 		c.Years = []int{2011, 2012, 2013}
 	}
-	if c.YearGrowth <= 1 {
+	if c.YearGrowth == 0 {
 		c.YearGrowth = 1.35
 	}
-	if c.NeedGrowth <= 1 {
+	if c.NeedGrowth == 0 {
 		// Modest per-household drift: the paper's Fig. 6 finds within-class
 		// demand constant, so most traffic growth must come from cohort
 		// growth and class jumps, not from households using a given class
@@ -99,13 +106,60 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SwitchTarget < 0 {
 		c.SwitchTarget = 0
-	} else if c.SwitchTarget == 0 {
+	} else if c.SwitchTarget == 0 && c.Users > 0 {
 		c.SwitchTarget = c.Users / 4
 	}
 	if c.Profiles == nil {
 		c.Profiles = market.World()
 	}
 	return c
+}
+
+// WithDefaults returns the config with every unset field filled the way
+// Build will fill it. The scenario runner uses it to echo the effective
+// world scale in its report.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+// ErrInvalidConfig tags every Config validation failure; test with
+// errors.Is. The concrete error is a *ConfigError naming the field.
+var ErrInvalidConfig = errors.New("invalid synth config")
+
+// ConfigError reports one invalid Config field.
+type ConfigError struct {
+	Field string // the offending Config field
+	Msg   string // what is wrong with it
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("synth: invalid config: %s: %s", e.Field, e.Msg)
+}
+
+func (e *ConfigError) Unwrap() error { return ErrInvalidConfig }
+
+// validate rejects configs that defaulting could not repair. It runs after
+// withDefaults, so a zero field has already been filled; what remains
+// invalid was set deliberately (scenario deltas can produce every one of
+// these) and must fail loudly rather than generate a nonsense world.
+func (c Config) validate() error {
+	if c.Users < 0 {
+		return &ConfigError{Field: "Users", Msg: fmt.Sprintf("negative user count %d", c.Users)}
+	}
+	if c.FCCUsers < 0 {
+		return &ConfigError{Field: "FCCUsers", Msg: fmt.Sprintf("negative user count %d", c.FCCUsers)}
+	}
+	if len(c.Years) == 0 {
+		return &ConfigError{Field: "Years", Msg: "empty cohort-year list"}
+	}
+	if c.YearGrowth <= 0 {
+		return &ConfigError{Field: "YearGrowth", Msg: fmt.Sprintf("growth factor %v must be > 0", c.YearGrowth)}
+	}
+	if c.NeedGrowth <= 0 {
+		return &ConfigError{Field: "NeedGrowth", Msg: fmt.Sprintf("growth factor %v must be > 0", c.NeedGrowth)}
+	}
+	if len(c.Profiles) == 0 {
+		return &ConfigError{Field: "Profiles", Msg: "no market profiles"}
+	}
+	return nil
 }
 
 // World is the generated world: the dataset plus the generator-side ground
@@ -178,8 +232,8 @@ func BuildCtx(ctx context.Context, cfg Config) (*World, error) {
 // read-only during user generation.
 func newGenerator(ctx context.Context, cfg Config) (*generator, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Profiles) == 0 {
-		return nil, fmt.Errorf("synth: no market profiles")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	root := randx.New(cfg.Seed)
 
