@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bbbench                               # full set → BENCH_8.json
+//	bbbench                               # full set → BENCH_9.json
 //	bbbench -set smoke -benchtime 100ms   # reduced CI set, shorter runs
 //	bbbench -baseline BENCH_7.json        # also gate: exit 1 on >20% regression
 //	bbbench -baseline auto                # gate against the newest BENCH_<n>.json
@@ -41,7 +41,7 @@ func main() {
 	// forward its -benchtime to testing.Benchmark.
 	testing.Init()
 	var (
-		out       = flag.String("out", "BENCH_8.json", "trajectory file to write")
+		out       = flag.String("out", "BENCH_9.json", "trajectory file to write")
 		set       = flag.String("set", "full", "benchmark set: full or smoke")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark target time (or Nx iteration count)")
 		baseline  = flag.String("baseline", "", "prior trajectory to compare against (or \"auto\" for the newest BENCH_<n>.json); regressions exit nonzero")
@@ -146,8 +146,24 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// A baseline entry missing from the current run is a warning when some
+	// other set still defines the spec (a smoke run against a full-set
+	// baseline), and a failure when no spec anywhere does — a renamed or
+	// deleted spec must retire its baseline entry explicitly, not silently.
+	universe, err := bench.Select("full")
+	if err != nil {
+		fail(err)
+	}
+	unknown := make(map[string]bool)
+	for _, name := range bench.MissingUnknown(missing, universe) {
+		unknown[name] = true
+	}
 	for _, name := range missing {
-		fmt.Fprintf(os.Stderr, "bbbench: warning: baseline benchmark %q missing from this run\n", name)
+		if unknown[name] {
+			fmt.Fprintf(os.Stderr, "bbbench: baseline benchmark %q matches no current spec (renamed or dropped?)\n", name)
+		} else {
+			fmt.Fprintf(os.Stderr, "bbbench: warning: baseline benchmark %q not in this run (still defined in the full set)\n", name)
+		}
 	}
 	for _, d := range deltas {
 		verdict := "ok"
@@ -166,9 +182,18 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+	failed := false
 	if reg := bench.Regressions(deltas); len(reg) > 0 {
 		fmt.Fprintf(os.Stderr, "bbbench: %d of %d benchmarks regressed beyond %.0f%% of %s\n",
 			len(reg), len(deltas), *tolerance*100, baselinePath)
+		failed = true
+	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "bbbench: %d baseline benchmark(s) match no current spec; rename them in %s or record a new baseline\n",
+			len(unknown), baselinePath)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bbbench: no regressions vs %s (tolerance %.0f%%)\n", baselinePath, *tolerance*100)

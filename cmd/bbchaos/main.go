@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -131,7 +132,7 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			if err := fsx.WriteFileAtomic(*reportTo, append(data, '\n'), 0o644); err != nil {
+			if err := fsx.RetryWrite(context.Background(), fsx.RetryPolicy{}, *reportTo, append(data, '\n'), 0o644); err != nil {
 				fail("%v", err)
 			}
 		}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -125,7 +126,7 @@ func main() {
 	}
 	fmt.Print(r.Render())
 	if *report != "" {
-		if err := fsx.WriteFileAtomic(*report, r.JSON(), 0o644); err != nil {
+		if err := fsx.RetryWrite(context.Background(), fsx.RetryPolicy{}, *report, r.JSON(), 0o644); err != nil {
 			fail("%v", err)
 		}
 	}

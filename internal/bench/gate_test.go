@@ -113,3 +113,32 @@ func TestCompareGatedAllocs(t *testing.T) {
 		t.Fatalf("Compare gated allocs without a gate: %+v", reg)
 	}
 }
+
+func TestMissingUnknown(t *testing.T) {
+	universe := []Spec{{Name: "run_all"}, {Name: "server_query"}}
+	// A missing name still defined somewhere in the universe is a set
+	// mismatch, not a retirement; only truly unknown names survive.
+	got := MissingUnknown([]string{"run_all", "old_matcher", "server_query", "ghost"}, universe)
+	if len(got) != 2 || got[0] != "old_matcher" || got[1] != "ghost" {
+		t.Fatalf("MissingUnknown = %v, want [old_matcher ghost]", got)
+	}
+	if got := MissingUnknown(nil, universe); got != nil {
+		t.Fatalf("MissingUnknown(nil) = %v", got)
+	}
+	if got := MissingUnknown([]string{"run_all"}, universe); got != nil {
+		t.Fatalf("known-only missing list produced %v", got)
+	}
+}
+
+func TestSmokeSetIncludesServerQuery(t *testing.T) {
+	smoke, err := Select("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range smoke {
+		if s.Name == "server_query" {
+			return
+		}
+	}
+	t.Fatal("server_query spec not in the smoke set")
+}

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,6 +17,7 @@ import (
 	"github.com/nwca/broadband/internal/dataset"
 	"github.com/nwca/broadband/internal/netsim"
 	"github.com/nwca/broadband/internal/randx"
+	"github.com/nwca/broadband/internal/serve"
 	"github.com/nwca/broadband/internal/synth"
 	"github.com/nwca/broadband/internal/traffic"
 	"github.com/nwca/broadband/internal/unit"
@@ -68,6 +72,7 @@ func Specs() []Spec {
 		{Name: "fluid_day", Smoke: true, Run: benchFluidDay},
 		{Name: "packet_ndt", Smoke: true, Run: benchPacketNDT},
 		{Name: "simulator_churn", Smoke: true, Run: benchSimulatorChurn},
+		{Name: "server_query", Smoke: true, Run: benchServerQuery},
 	}
 	// Per-artifact sub-benchmarks: one spec per registry entry, so a
 	// regression in run_all can be localized to the figure or table that
@@ -120,6 +125,63 @@ func benchArtifact(id string) func(b *testing.B) {
 			if _, err := broadband.Run(id, d, uint64(i)); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// The live server behind the server_query spec, started once per process
+// over the shared run_all world (same lifetime convention as runAllWorld:
+// the listener survives until process exit).
+var (
+	serverQueryOnce sync.Once
+	serverQueryURL  string
+	serverQueryErr  error
+)
+
+// benchServerQuery measures bbserve's hot query path end to end: an HTTP
+// GET through the full middleware stack to a cached artifact result. The
+// cache is primed before the timer starts, so the spec tracks the serving
+// overhead (routing, admission, cache lookup, response write) rather than
+// the first experiment computation.
+func benchServerQuery(b *testing.B) {
+	serverQueryOnce.Do(func() {
+		d, err := runAllWorld()
+		if err != nil {
+			serverQueryErr = err
+			return
+		}
+		store := serve.NewMemStore()
+		if _, err := store.Put("bench", d, nil); err != nil {
+			serverQueryErr = err
+			return
+		}
+		srv := serve.New(serve.Config{Store: store, MaxInFlight: 64, Log: log.New(io.Discard, "", 0)})
+		serverQueryURL = httptest.NewServer(srv.Handler()).URL
+	})
+	if serverQueryErr != nil {
+		b.Fatal(serverQueryErr)
+	}
+	url := serverQueryURL + "/v1/datasets/bench/artifacts/fig02?seed=1"
+	get := func() error {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || n == 0 {
+			return fmt.Errorf("server_query: status %d, %d bytes", resp.StatusCode, n)
+		}
+		return nil
+	}
+	if err := get(); err != nil { // prime the result cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := get(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -150,6 +150,27 @@ func CompareGated(cur, base *Trajectory, tolerance float64, allocGate map[string
 	return deltas, missing, nil
 }
 
+// MissingUnknown filters Compare's missing list down to the names no spec
+// in the universe defines: baseline entries that no run could ever
+// reproduce again (a renamed or deleted spec), as opposed to entries
+// merely outside this run's selected set (a smoke run against a full-set
+// baseline). The distinction is what lets bbbench fail loudly on the
+// former — a silent rename would otherwise retire a benchmark's history
+// without anyone deciding to — while only warning about the latter.
+func MissingUnknown(missing []string, universe []Spec) []string {
+	known := make(map[string]bool, len(universe))
+	for _, s := range universe {
+		known[s.Name] = true
+	}
+	var out []string
+	for _, name := range missing {
+		if !known[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 // Regressions filters a delta set to the failures — a ns/op regression
 // or a gated allocs/op regression.
 func Regressions(deltas []Delta) []Delta {

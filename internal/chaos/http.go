@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// HTTP fault layer. The file faults in perturb.go model a dirty panel at
+// rest; these model a hostile transport: clients that dribble bytes
+// forever (slow loris), disconnect mid-upload, or deliver gzip members
+// whose checksums cannot validate. A server under test wraps its chaos
+// clients' request bodies with these readers; the soak suite in
+// internal/serve drives all of them concurrently against a live listener.
+
+// HTTPFault enumerates the client-side fault classes of an upload storm.
+type HTTPFault int
+
+const (
+	// HTTPNone is a well-behaved request.
+	HTTPNone HTTPFault = iota
+	// HTTPSlowLoris is a body delivered a few bytes at a time with delays
+	// between chunks — the classic connection-hoarding attack. The server
+	// must bound it with read deadlines, not wait it out.
+	HTTPSlowLoris
+	// HTTPDisconnect is a client that drops the connection partway through
+	// its upload. The server must discard the partial body, never store it.
+	HTTPDisconnect
+	// HTTPCorruptGzip is an upload whose gzip payload has a flipped byte:
+	// the deflate stream or trailing CRC cannot validate. The server's
+	// quarantine boundary must reject it as a typed fault, not crash.
+	HTTPCorruptGzip
+)
+
+var httpFaultNames = [...]string{"none", "slow-loris", "disconnect", "corrupt-gzip"}
+
+// String names the fault the way storm logs render it.
+func (f HTTPFault) String() string {
+	if int(f) < len(httpFaultNames) {
+		return httpFaultNames[f]
+	}
+	return fmt.Sprintf("httpfault(%d)", int(f))
+}
+
+// HTTPFaultPlan deals a deterministic fault class to each of n requests:
+// request i draws from (seed, "http|fault", i) alone, so the same seed
+// produces the same storm whatever order the requests actually fire in.
+// rate is the per-request probability of any fault; faulty requests split
+// uniformly across the three classes.
+func (in *Injector) HTTPFaultPlan(n int, rate float64) []HTTPFault {
+	plan := make([]HTTPFault, n)
+	for i := range plan {
+		rng := in.root.SplitN("http|fault", i+1)
+		if !rng.Bool(rate) {
+			continue
+		}
+		plan[i] = HTTPFault(1 + rng.IntN(3))
+	}
+	return plan
+}
+
+// slowBody dribbles a payload.
+type slowBody struct {
+	data  []byte
+	chunk int
+	delay time.Duration
+}
+
+// SlowBody returns a reader that delivers data at most chunk bytes per
+// Read with delay before every chunk — a slow-loris request body. The
+// total transfer time is roughly len(data)/chunk × delay; tests size the
+// payload so a correctly-deadlined server cuts the request off first (or
+// keep it under the deadline to model a merely slow client).
+func SlowBody(data []byte, chunk int, delay time.Duration) io.Reader {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &slowBody{data: data, chunk: chunk, delay: delay}
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	time.Sleep(s.delay)
+	n := s.chunk
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, s.data[:n])
+	s.data = s.data[n:]
+	return n, nil
+}
+
+// ErrClientGone is the error a BrokenBody reader fails with — what an
+// http.Client surfaces when a request body dies mid-upload, standing in
+// for the peer disconnecting.
+var ErrClientGone = errors.New("chaos: client disconnected mid-upload")
+
+// brokenBody delivers a prefix, then dies.
+type brokenBody struct {
+	data []byte
+	left int
+}
+
+// BrokenBody returns a reader that delivers the first keep bytes of data
+// and then fails permanently with ErrClientGone — a mid-upload disconnect
+// as seen from the request-body side.
+func BrokenBody(data []byte, keep int) io.Reader {
+	if keep > len(data) {
+		keep = len(data)
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	return &brokenBody{data: data[:keep], left: keep}
+}
+
+func (b *brokenBody) Read(p []byte) (int, error) {
+	if b.left == 0 {
+		return 0, ErrClientGone
+	}
+	n := copy(p, b.data[len(b.data)-b.left:])
+	b.left -= n
+	return n, nil
+}
+
+// GzipBytes compresses data as one gzip member — the well-formed upload
+// payload the corruption below perturbs.
+func GzipBytes(data []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// CorruptGzipBytes returns a copy of a gzip payload with one byte flipped
+// past the member header, chosen deterministically from (seed, label) —
+// the in-flight analogue of PerturbDir's CorruptGzip file fault. The
+// deflate stream or its trailing CRC can no longer validate, so any
+// decompressing consumer must fail; payloads too short to corrupt are
+// returned unchanged. The second return is the flipped offset (-1 when
+// unchanged), for storm logs.
+func (in *Injector) CorruptGzipBytes(label string, data []byte) ([]byte, int) {
+	if len(data) <= 20 {
+		return data, -1
+	}
+	rng := in.root.Split("http|gzip|" + label)
+	off := 10 + rng.IntN(len(data)-18)
+	out := append([]byte(nil), data...)
+	out[off] ^= 0xff
+	return out, off
+}

@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSlowBodyDeliversEverything(t *testing.T) {
+	data := bytes.Repeat([]byte("slowly "), 100)
+	r := SlowBody(data, 16, time.Microsecond)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %d bytes, want %d, content mismatch", len(got), len(data))
+	}
+}
+
+func TestSlowBodyChunks(t *testing.T) {
+	r := SlowBody([]byte("abcdefgh"), 3, 0)
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("first read = %d, %v; want 3, nil", n, err)
+	}
+}
+
+func TestBrokenBodyDisconnects(t *testing.T) {
+	data := []byte("0123456789")
+	r := BrokenBody(data, 4)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrClientGone) {
+		t.Fatalf("err = %v, want ErrClientGone", err)
+	}
+	if !bytes.Equal(got, data[:4]) {
+		t.Fatalf("delivered %q before dying, want %q", got, data[:4])
+	}
+	// A zero-keep body dies on the first read.
+	if _, err := BrokenBody(data, 0).Read(make([]byte, 1)); !errors.Is(err, ErrClientGone) {
+		t.Fatalf("zero-keep first read err = %v", err)
+	}
+}
+
+func TestCorruptGzipBytesBreaksDecompression(t *testing.T) {
+	in := New(Config{Seed: 42})
+	payload := GzipBytes(bytes.Repeat([]byte("users,rows,etc\n"), 200))
+
+	// Sanity: the uncorrupted payload decompresses.
+	if zr, err := gzip.NewReader(bytes.NewReader(payload)); err != nil {
+		t.Fatalf("clean payload: %v", err)
+	} else if _, err := io.ReadAll(zr); err != nil {
+		t.Fatalf("clean payload read: %v", err)
+	}
+
+	corrupt, off := in.CorruptGzipBytes("users.csv.gz", payload)
+	if off < 10 || off >= len(payload) {
+		t.Fatalf("flip offset %d out of range", off)
+	}
+	if bytes.Equal(corrupt, payload) {
+		t.Fatal("payload unchanged")
+	}
+	// The original is untouched (the flip copies).
+	if clean := GzipBytes(bytes.Repeat([]byte("users,rows,etc\n"), 200)); !bytes.Equal(payload, clean) {
+		t.Fatal("CorruptGzipBytes mutated its input")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(corrupt))
+	if err == nil {
+		_, err = io.ReadAll(zr)
+	}
+	if err == nil {
+		t.Fatal("corrupted payload decompressed cleanly")
+	}
+
+	// Determinism: same seed and label, same flip.
+	_, off2 := New(Config{Seed: 42}).CorruptGzipBytes("users.csv.gz", payload)
+	if off2 != off {
+		t.Fatalf("offset %d on replay, want %d", off2, off)
+	}
+	// Tiny payloads pass through unchanged.
+	if out, o := in.CorruptGzipBytes("tiny", []byte("short")); o != -1 || string(out) != "short" {
+		t.Fatalf("tiny payload: off %d, %q", o, out)
+	}
+}
+
+func TestHTTPFaultPlanDeterminism(t *testing.T) {
+	a := New(Config{Seed: 9}).HTTPFaultPlan(64, 0.5)
+	b := New(Config{Seed: 9}).HTTPFaultPlan(64, 0.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := New(Config{Seed: 10}).HTTPFaultPlan(64, 0.5)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans (vanishingly unlikely)")
+	}
+	counts := map[HTTPFault]int{}
+	for _, f := range a {
+		counts[f]++
+	}
+	// At rate 0.5 over 64 requests every class should appear; a plan that
+	// never faults (or always does) means the rate wiring broke.
+	if counts[HTTPNone] == 0 {
+		t.Fatal("no clean requests in plan")
+	}
+	if counts[HTTPSlowLoris]+counts[HTTPDisconnect]+counts[HTTPCorruptGzip] == 0 {
+		t.Fatal("no faults in plan at rate 0.5")
+	}
+	// Zero rate is all clean.
+	for i, f := range New(Config{Seed: 9}).HTTPFaultPlan(16, 0) {
+		if f != HTTPNone {
+			t.Fatalf("rate 0 plan has fault %v at %d", f, i)
+		}
+	}
+}

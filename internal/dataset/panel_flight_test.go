@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPanelConcurrentFallbackBuildsOnce pins the singleflight contract of
+// the uncached Panel fallback: N callers racing on an unfrozen dataset get
+// the same *Panel from exactly one build, instead of each paying for a
+// full columnar projection. Run under -race this also proves the flight
+// publishes the panel safely.
+//
+// A 3-user panel builds in microseconds — far too fast for 32 goroutines
+// to overlap a real flight window — so the leader-side barrier hook holds
+// the build open until every other caller has joined the flight. The
+// production path never sets the hook; the dedup itself is what's pinned.
+func TestPanelConcurrentFallbackBuildsOnce(t *testing.T) {
+	d := sampleDataset() // never frozen: every Panel call takes the fallback path
+
+	const callers = 32
+	panelBuildBarrier = func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			panelMu.Lock()
+			joined := panelCalls[d].refs
+			panelMu.Unlock()
+			if joined == callers-1 || time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	before := panelFallbackBuilds.Load()
+	panels := make([]*Panel, callers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			panels[i] = d.Panel()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	panelBuildBarrier = nil
+
+	if got := panelFallbackBuilds.Load() - before; got != 1 {
+		t.Fatalf("%d concurrent callers triggered %d builds, want 1", callers, got)
+	}
+	for i, p := range panels {
+		if p == nil || p.Len() != len(d.Users) {
+			t.Fatalf("caller %d got panel of %v users", i, p)
+		}
+		if p != panels[0] {
+			t.Fatalf("caller %d got a different panel instance", i)
+		}
+	}
+
+	// The flight must not have populated the cache: Freeze still owns that,
+	// and a later mutation must not see a stale cached panel.
+	if d.panel != nil {
+		t.Fatal("fallback flight wrote the cache field")
+	}
+
+	// A later, sequential call starts a fresh flight (no stale entry).
+	before = panelFallbackBuilds.Load()
+	if p := d.Panel(); p.Len() != len(d.Users) {
+		t.Fatalf("follow-up Panel length %d", p.Len())
+	}
+	if got := panelFallbackBuilds.Load() - before; got != 1 {
+		t.Fatalf("follow-up call triggered %d builds, want 1", got)
+	}
+}
+
+// TestPanelFrozenFastPathSkipsFlight pins that a frozen dataset never
+// enters the flight: the cached panel is returned directly.
+func TestPanelFrozenFastPathSkipsFlight(t *testing.T) {
+	d := sampleDataset()
+	frozen := d.Freeze()
+	before := panelFallbackBuilds.Load()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if p := d.Panel(); p != frozen {
+				t.Error("frozen dataset returned a non-cached panel")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := panelFallbackBuilds.Load() - before; got != 0 {
+		t.Fatalf("frozen dataset triggered %d fallback builds", got)
+	}
+}

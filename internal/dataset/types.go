@@ -11,6 +11,8 @@ package dataset
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/nwca/broadband/internal/market"
 	"github.com/nwca/broadband/internal/traffic"
@@ -152,12 +154,69 @@ func (d *Dataset) Freeze() *Panel {
 // Panel returns the columnar projection of Users: the cached panel when
 // fresh, otherwise a newly built uncached one. Safe for concurrent readers
 // as long as nobody mutates the dataset underneath them.
+//
+// The uncached fallback is deduplicated per dataset: N callers racing on
+// an unfrozen dataset share one build instead of each paying for a full
+// projection (the duplication the serve fan-out exposed). The flight never
+// writes the cache field — concurrent Panel calls must stay write-free so
+// they cannot race Freeze's single-threaded contract — and the flight
+// entry is dropped as soon as the build lands, so a later mutation can
+// never be served a stale panel.
 func (d *Dataset) Panel() *Panel {
 	if d.panel != nil && d.panel.Len() == len(d.Users) {
 		return d.panel
 	}
-	return BuildPanel(d.Users)
+	panelMu.Lock()
+	if c, ok := panelCalls[d]; ok {
+		c.refs++
+		panelMu.Unlock()
+		<-c.done
+		return c.p
+	}
+	c := &panelCall{done: make(chan struct{})}
+	panelCalls[d] = c
+	panelMu.Unlock()
+
+	if panelBuildBarrier != nil {
+		panelBuildBarrier()
+	}
+	panelFallbackBuilds.Add(1)
+	c.p = BuildPanel(d.Users)
+
+	panelMu.Lock()
+	delete(panelCalls, d)
+	panelMu.Unlock()
+	close(c.done)
+	return c.p
 }
+
+// panelCalls deduplicates concurrent uncached Panel builds, keyed by
+// dataset identity. The flight leader removes its entry before signalling
+// done, so entries live only for the duration of one build and the map
+// never pins finished datasets in memory.
+var (
+	panelMu    sync.Mutex
+	panelCalls = make(map[*Dataset]*panelCall)
+)
+
+// panelCall is one in-progress fallback build. The leader closes done
+// after publishing p; refs counts the callers that joined the flight
+// (everyone but the leader).
+type panelCall struct {
+	done chan struct{}
+	p    *Panel
+	refs int
+}
+
+// panelFallbackBuilds counts uncached fallback builds — a test hook
+// pinning the one-build-per-flight contract.
+var panelFallbackBuilds atomic.Int64
+
+// panelBuildBarrier, when non-nil, runs in the flight leader after its
+// flight is registered and before the build starts. Test-only: it lets a
+// test hold a build open until every racing caller has joined the flight,
+// making the one-build assertion deterministic. Nil in production.
+var panelBuildBarrier func()
 
 // ResetPanel drops the cached panel; the next Freeze or Panel rebuilds it.
 func (d *Dataset) ResetPanel() { d.panel = nil }

@@ -1,0 +1,139 @@
+package fsx_test
+
+// The retry tests live in fsx_test so they can drive fsx.Retry with the
+// chaos package's deterministic flaky-writer wrapper (chaos itself imports
+// fsx for its atomic rewrites, so an internal test would cycle).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/nwca/broadband/internal/chaos"
+	"github.com/nwca/broadband/internal/fsx"
+)
+
+// fastPolicy keeps test sleeps microscopic and jitter pinned.
+func fastPolicy(attempts int) fsx.RetryPolicy {
+	return fsx.RetryPolicy{
+		Attempts: attempts,
+		Base:     time.Microsecond,
+		Cap:      10 * time.Microsecond,
+		Rand:     func() float64 { return 0 },
+	}
+}
+
+func TestRetryAgainstFlakyWriter(t *testing.T) {
+	// A flaky writer at rate 0.5: whether call n fails is a pure function
+	// of (seed, file, n), so the whole schedule below is deterministic.
+	in := chaos.New(chaos.Config{Seed: 7})
+	var buf bytes.Buffer
+	w := in.FlakyWriter("report.json", &buf, 0.5)
+
+	payload := []byte("retry payload")
+	var attempts int
+	err := fsx.Retry(context.Background(), fastPolicy(32), func() error {
+		attempts++
+		buf.Reset() // a failed call wrote nothing, but stay defensive
+		_, werr := w.Write(payload)
+		return werr
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatalf("buffer = %q, want %q", buf.Bytes(), payload)
+	}
+	if attempts < 1 || attempts > 32 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	t.Logf("succeeded on attempt %d", attempts)
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	in := chaos.New(chaos.Config{Seed: 1})
+	w := in.FlakyWriter("doomed.csv", bytes.NewBuffer(nil), 1.0) // every call fails
+	attempts := 0
+	err := fsx.Retry(context.Background(), fastPolicy(5), func() error {
+		attempts++
+		_, werr := w.Write([]byte("x"))
+		return werr
+	})
+	var fe *chaos.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *chaos.FaultError", err)
+	}
+	if attempts != 5 {
+		t.Fatalf("attempts = %d, want 5", attempts)
+	}
+	if fe.Call != 5 {
+		t.Fatalf("last fault at call %d, want 5", fe.Call)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	err := fsx.Retry(ctx, fsx.RetryPolicy{Attempts: 50, Base: time.Hour}, func() error {
+		attempts++
+		cancel() // cancelled mid-schedule: the backoff sleep must not block
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("want error after cancellation")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry after cancel)", attempts)
+	}
+}
+
+func TestRetryRespectsTransientClassifier(t *testing.T) {
+	final := errors.New("final")
+	attempts := 0
+	err := fsx.Retry(context.Background(), fsx.RetryPolicy{
+		Attempts: 10, Base: time.Microsecond,
+		Transient: func(err error) bool { return !errors.Is(err, final) },
+	}, func() error {
+		attempts++
+		return final
+	})
+	if !errors.Is(err, final) || attempts != 1 {
+		t.Fatalf("err = %v after %d attempts, want final after 1", err, attempts)
+	}
+}
+
+func TestRetryWriteLandsAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := fsx.RetryWrite(context.Background(), fastPolicy(3), path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("RetryWrite: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// No staging litter.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(ents))
+	}
+}
+
+func TestRetryReadMissingFileIsFinal(t *testing.T) {
+	attempts := 0
+	_, err := fsx.RetryRead(context.Background(), fsx.RetryPolicy{
+		Attempts: 5, Base: time.Microsecond,
+		Transient: nil, // default classifier: ErrNotExist is final
+	}, filepath.Join(t.TempDir(), "nope"))
+	_ = attempts
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}

@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nwca/broadband/internal/chaos"
+	"github.com/nwca/broadband/internal/dataset"
+	"github.com/nwca/broadband/internal/scenario"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = quietLogger()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postUpload(t *testing.T, url, name string, body []byte, contentType string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/datasets/"+name, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestUploadQueryLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, ctype := cleanUploadBody(t)
+
+	resp := postUpload(t, ts.URL, "panel", body, ctype)
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload status %d: %s", resp.StatusCode, b)
+	}
+	var created struct {
+		Info
+		Quarantine *dataset.QuarantineReport `json:"quarantine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Users != len(testWorld(t).Users) || created.Hash == "" {
+		t.Fatalf("created = %+v", created.Info)
+	}
+
+	// Listing and metadata.
+	lr, err := http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Body.Close()
+	var infos []Info
+	if err := json.NewDecoder(lr.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "panel" {
+		t.Fatalf("list = %+v", infos)
+	}
+
+	// The artifact registry is served in full.
+	ar, err := http.Get(ts.URL + "/v1/artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.Body.Close()
+	var arts []artifactInfo
+	if err := json.NewDecoder(ar.Body).Decode(&arts); err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 20 {
+		t.Fatalf("%d registry artifacts served, want 20", len(arts))
+	}
+
+	// Artifact query by slug, twice: byte-identical (cache hit).
+	get := func() []byte {
+		r, err := http.Get(ts.URL + "/v1/datasets/panel/artifacts/fig02?seed=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(r.Body)
+			t.Fatalf("artifact status %d: %s", r.StatusCode, b)
+		}
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first, second := get(), get()
+	if !bytes.Equal(first, second) {
+		t.Fatal("repeated identical queries returned different bytes")
+	}
+	if !json.Valid(first) {
+		t.Fatalf("artifact response is not JSON: %.80s", first)
+	}
+
+	// Unknown artifact and dataset 404; invalid name 400.
+	for path, want := range map[string]int{
+		"/v1/datasets/panel/artifacts/fig99": http.StatusNotFound,
+		"/v1/datasets/nope/artifacts/fig02":  http.StatusNotFound,
+		"/v1/datasets/No!Pe/artifacts/fig02": http.StatusBadRequest,
+	} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, r.StatusCode, want)
+		}
+	}
+
+	// Delete, then the dataset is gone.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/panel", nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dr.StatusCode)
+	}
+	gr, err := http.Get(ts.URL + "/v1/datasets/panel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted dataset still served: %d", gr.StatusCode)
+	}
+}
+
+func TestUploadGzipParts(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	u, sw, p := worldTables(t)
+	body, ctype := multipartUpload(t, map[string][]byte{
+		"users.csv.gz": chaos.GzipBytes(u),
+		"switches.csv": sw,
+		"plans.csv.gz": chaos.GzipBytes(p),
+	}, "users.csv.gz", "switches.csv", "plans.csv.gz")
+	resp := postUpload(t, ts.URL, "gzpanel", body, ctype)
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("gz upload status %d: %s", resp.StatusCode, b)
+	}
+}
+
+func TestUploadCorruptGzipRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	u, sw, p := worldTables(t)
+	inj := chaos.New(chaos.Config{Seed: 3})
+	bad, off := inj.CorruptGzipBytes("users.csv.gz", chaos.GzipBytes(u))
+	if off < 0 {
+		t.Fatal("payload too small to corrupt")
+	}
+	body, ctype := multipartUpload(t, map[string][]byte{
+		"users.csv.gz": bad, "switches.csv": sw, "plans.csv": p,
+	}, "users.csv.gz", "switches.csv", "plans.csv")
+	resp := postUpload(t, ts.URL, "corrupt", body, ctype)
+	if resp.StatusCode != http.StatusBadRequest {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("corrupt gzip status %d: %s", resp.StatusCode, b)
+	}
+	if _, ok := s.store.Get("corrupt"); ok {
+		t.Fatal("corrupt upload was stored")
+	}
+}
+
+func TestUploadMissingTableRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	u, _, _ := worldTables(t)
+	body, ctype := multipartUpload(t, map[string][]byte{"users.csv": u}, "users.csv")
+	resp := postUpload(t, ts.URL, "partial", body, ctype)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-table status %d", resp.StatusCode)
+	}
+}
+
+func TestUploadOverBudgetRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{Quarantine: dataset.QuarantineOptions{MaxBadRows: 1}})
+	u, sw, p := worldTables(t)
+	dirty := append(append([]byte{}, u...), []byte("garbage\nmore garbage\n")...)
+	body, ctype := multipartUpload(t, map[string][]byte{
+		"users.csv": dirty, "switches.csv": sw, "plans.csv": p,
+	}, "users.csv", "switches.csv", "plans.csv")
+	resp := postUpload(t, ts.URL, "dirty", body, ctype)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("over-budget status %d: %s", resp.StatusCode, b)
+	}
+	if _, ok := s.store.Get("dirty"); ok {
+		t.Fatal("over-budget upload was stored")
+	}
+}
+
+func TestUploadDisconnectStoresNothing(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body, ctype := cleanUploadBody(t)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets/gone",
+		chaos.BrokenBody(body, len(body)/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ctype)
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		// The server may have answered 400 before the client noticed.
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("disconnect produced server error %d", resp.StatusCode)
+		}
+	}
+	if _, ok := s.store.Get("gone"); ok {
+		t.Fatal("partial upload was stored")
+	}
+}
+
+func TestSlowLorisCutOffByDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: 150 * time.Millisecond})
+	body, ctype := cleanUploadBody(t)
+	// ~40 bytes/ms: a multi-hundred-KB body takes many seconds — far past
+	// the deadline — if the server were willing to wait it out.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets/loris",
+		chaos.SlowBody(body, 64, 1500*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ctype)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	elapsed := time.Since(start)
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestTimeout {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("slow-loris status %d: %s", resp.StatusCode, b)
+		}
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("server waited %v for a slow-loris body", elapsed)
+	}
+	if _, ok := s.store.Get("loris"); ok {
+		t.Fatal("slow-loris upload was stored")
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	s := New(Config{MaxInFlight: 1, Log: quietLogger()})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var enteredOnce sync.Once
+	h := s.withAdmission(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enteredOnce.Do(func() { close(entered) })
+		<-release
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	first := httptest.NewRecorder()
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(first, httptest.NewRequest(http.MethodGet, "/v1/artifacts", nil))
+	}()
+	<-entered
+
+	// The slot is held: the next request is shed immediately.
+	second := httptest.NewRecorder()
+	h.ServeHTTP(second, httptest.NewRequest(http.MethodGet, "/v1/artifacts", nil))
+	if second.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", second.Code)
+	}
+	if second.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+
+	close(release)
+	wg.Wait()
+	// Slot free again: served.
+	third := httptest.NewRecorder()
+	h.ServeHTTP(third, httptest.NewRequest(http.MethodGet, "/v1/artifacts", nil))
+	if third.Code == http.StatusTooManyRequests {
+		t.Fatal("request shed with a free slot")
+	}
+}
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	s := New(Config{Log: quietLogger()})
+	h := s.withRecover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("experiment exploded")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/artifacts", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic produced status %d, want 500", rec.Code)
+	}
+	// The process (and the handler chain) is still alive.
+	rec2 := httptest.NewRecorder()
+	s.withRecover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})).ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/v1/artifacts", nil))
+	if rec2.Code != http.StatusNoContent {
+		t.Fatal("handler chain dead after panic")
+	}
+}
+
+func TestDrainShedsAndCompletes(t *testing.T) {
+	s := New(Config{Log: quietLogger()})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := s.withTrack(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/artifacts", nil))
+	}()
+	<-entered
+
+	// Drain cannot finish while the request is in flight.
+	short, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(short); err == nil {
+		t.Fatal("drain reported complete with a request in flight")
+	}
+
+	// New work is shed while draining; readiness is down; liveness is up.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/artifacts", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain got %d, want 503", rec.Code)
+	}
+	ready := httptest.NewRecorder()
+	s.handleReadyz(ready, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if ready.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", ready.Code)
+	}
+	live := httptest.NewRecorder()
+	s.handleHealthz(live, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if live.Code != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", live.Code)
+	}
+
+	// Once the in-flight request finishes, drain completes within deadline.
+	close(release)
+	wg.Wait()
+	done, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := s.Drain(done); err != nil {
+		t.Fatalf("drain after completion: %v", err)
+	}
+}
+
+func TestReportsEndpointRunsRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry fan-out")
+	}
+	_, ts := newTestServer(t, Config{})
+	body, ctype := cleanUploadBody(t)
+	if resp := postUpload(t, ts.URL, "panel", body, ctype); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/v1/datasets/panel/reports?seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(r.Body)
+		t.Fatalf("reports status %d: %s", r.StatusCode, b)
+	}
+	var out []renderedReport
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("%d reports, want 20", len(out))
+	}
+	for _, rep := range out {
+		if rep.Text == "" {
+			t.Fatalf("artifact %s rendered empty", rep.ID)
+		}
+	}
+}
+
+func TestScenarioEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds counterfactual worlds")
+	}
+	_, ts := newTestServer(t, Config{RequestTimeout: 2 * time.Minute})
+	packs, err := scenario.LoadDir("../../testdata/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := scenarioRequest{
+		Packs: packs[:1],
+		Seeds: []uint64{1},
+		World: &worldScale{Users: 1000, FCCUsers: 250, Days: 2, SwitchTarget: 200, MinPerCountry: 10},
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("scenario status %d: %s", resp.StatusCode, body)
+	}
+	var rep scenario.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Packs) != 1 || len(rep.Packs[0].Outcomes) == 0 {
+		t.Fatalf("scenario report = %+v", rep)
+	}
+
+	// Malformed requests are rejected up front.
+	for body, want := range map[string]int{
+		`{"packs":[]}`:      http.StatusBadRequest,
+		`{"unknown":true}`:  http.StatusBadRequest,
+		`{"packs":[{}]}`:    http.StatusBadRequest,
+		`not json at all!!`: http.StatusBadRequest,
+	} {
+		r2, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != want {
+			t.Errorf("POST %q = %d, want %d", body, r2.StatusCode, want)
+		}
+	}
+}

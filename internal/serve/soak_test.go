@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nwca/broadband/internal/chaos"
+	"github.com/nwca/broadband/internal/dataset"
+)
+
+// TestSoakStormAndDrain is the resilience gate: a deterministic chaos
+// storm — clean uploads racing slow-loris, mid-upload-disconnect, and
+// corrupt-gzip clients, interleaved with concurrent artifact queries —
+// against a live listener over a disk store, under -race in CI. It pins
+// the tentpole's four promises:
+//
+//  1. no stored-dataset corruption: every surviving entry validates and
+//     re-hashes to the pointer it is stored under;
+//  2. byte-identical results: every 200 for the same (artifact, seed) is
+//     the same bytes;
+//  3. zero 5xx from non-panic paths, whatever the storm does;
+//  4. drain completes within its deadline, and the process leaks no
+//     goroutines from first request to last.
+func TestSoakStormAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm soak")
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	store, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Store:          store,
+		MaxInFlight:    8,
+		RequestTimeout: 1 * time.Second,
+		Quarantine:     dataset.QuarantineOptions{MaxBadFrac: 0.9},
+		Log:            quietLogger(),
+	})
+	ts := httptest.NewServer(s.Handler())
+	client := ts.Client()
+
+	// Prime one dataset sequentially so queries always have a target.
+	body, ctype := cleanUploadBody(t)
+	resp, err := client.Post(ts.URL+"/v1/datasets/panel", ctype, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("prime upload status %d", resp.StatusCode)
+	}
+
+	// Every observed response status, by operation kind.
+	var (
+		mu       sync.Mutex
+		statuses []struct {
+			op   string
+			code int
+		}
+	)
+	record := func(op string, code int) {
+		mu.Lock()
+		statuses = append(statuses, struct {
+			op   string
+			code int
+		}{op, code})
+		mu.Unlock()
+	}
+
+	const uploads = 24
+	inj := chaos.New(chaos.Config{Seed: 1405})
+	plan := inj.HTTPFaultPlan(uploads, 0.5)
+	u, sw, p := worldTables(t)
+
+	var wg sync.WaitGroup
+	for i, fault := range plan {
+		wg.Add(1)
+		go func(i int, fault chaos.HTTPFault) {
+			defer wg.Done()
+			name := fmt.Sprintf("storm-%d", i%4)
+			var reqBody io.Reader = bytes.NewReader(body)
+			reqCtype := ctype
+			switch fault {
+			case chaos.HTTPSlowLoris:
+				// ~128 KB/s against a ~1 MB body: the 1s deadline, not the
+				// client, decides when this request ends.
+				reqBody = chaos.SlowBody(body, 256, 2*time.Millisecond)
+			case chaos.HTTPDisconnect:
+				reqBody = chaos.BrokenBody(body, len(body)/3)
+			case chaos.HTTPCorruptGzip:
+				gz, _ := inj.CorruptGzipBytes(fmt.Sprintf("storm|%d", i), chaos.GzipBytes(u))
+				var b []byte
+				b, reqCtype = multipartUpload(t, map[string][]byte{
+					"users.csv.gz": gz, "switches.csv": sw, "plans.csv": p,
+				}, "users.csv.gz", "switches.csv", "plans.csv")
+				reqBody = bytes.NewReader(b)
+			}
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets/"+name, reqBody)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", reqCtype)
+			resp, err := client.Do(req)
+			if err != nil {
+				// Disconnects and cut-off loris bodies legitimately surface
+				// as client-side errors; the server-side invariants are
+				// checked after the storm.
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			record("upload/"+fault.String(), resp.StatusCode)
+		}(i, fault)
+	}
+
+	// Concurrent identical queries: 16 per artifact, fired while the
+	// upload storm runs. All 200s for one URL must be the same bytes.
+	slugs := []string{"fig02", "table01", "fig10"}
+	bodies := make(map[string][][]byte)
+	for _, slug := range slugs {
+		for j := 0; j < 16; j++ {
+			wg.Add(1)
+			go func(slug string) {
+				defer wg.Done()
+				// A shed (429) is the server asking the client to come
+				// back: retry a bounded number of times, as a well-behaved
+				// client would.
+				for attempt := 0; attempt < 100; attempt++ {
+					resp, err := client.Get(ts.URL + "/v1/datasets/panel/artifacts/" + slug + "?seed=3")
+					if err != nil {
+						t.Errorf("query %s: %v", slug, err)
+						return
+					}
+					b, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					record("query/"+slug, resp.StatusCode)
+					if resp.StatusCode == http.StatusTooManyRequests {
+						time.Sleep(25 * time.Millisecond)
+						continue
+					}
+					if err != nil || resp.StatusCode != http.StatusOK {
+						return
+					}
+					mu.Lock()
+					bodies[slug] = append(bodies[slug], b)
+					mu.Unlock()
+					return
+				}
+			}(slug)
+		}
+	}
+	wg.Wait()
+
+	// 3. No 5xx anywhere: overload is 429, client faults are 4xx.
+	okUploads := 0
+	for _, st := range statuses {
+		if st.code >= 500 {
+			t.Errorf("%s returned %d", st.op, st.code)
+		}
+		if st.op == "upload/none" && st.code == http.StatusCreated {
+			okUploads++
+		}
+	}
+	if okUploads == 0 {
+		t.Error("no clean upload survived the storm (shedding too aggressive to test storage)")
+	}
+
+	// 2. Byte-identical concurrent queries.
+	for _, slug := range slugs {
+		got := bodies[slug]
+		if len(got) == 0 {
+			t.Errorf("no successful query for %s", slug)
+			continue
+		}
+		for i, b := range got {
+			if !bytes.Equal(b, got[0]) {
+				t.Errorf("%s: response %d of %d diverged", slug, i, len(got))
+				break
+			}
+		}
+	}
+
+	// 1. Stored datasets are uncorrupted: valid, and their content still
+	// hashes to the pointer they are stored under.
+	infos := s.store.List()
+	if len(infos) == 0 {
+		t.Fatal("store empty after storm")
+	}
+	for _, info := range infos {
+		e, ok := s.store.Get(info.Name)
+		if !ok {
+			t.Errorf("listed dataset %s not gettable", info.Name)
+			continue
+		}
+		if err := e.Dataset.Validate(); err != nil {
+			t.Errorf("stored dataset %s corrupt: %v", info.Name, err)
+		}
+		if rehash, err := HashDataset(e.Dataset); err != nil || rehash != e.Hash {
+			t.Errorf("stored dataset %s content drifted from its hash (%v)", info.Name, err)
+		}
+	}
+
+	// 4a. Drain completes within its deadline.
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	rz, err := client.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", rz.StatusCode)
+	}
+
+	// 4b. No goroutine leaks once the listener and clients are gone.
+	ts.Close()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before storm, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
